@@ -1,0 +1,84 @@
+// Command ptmcsim runs one workload under one memory-controller scheme and
+// prints the measured statistics.
+//
+// Usage:
+//
+//	ptmcsim -workload lbm06 -scheme dynamic-ptmc [-baseline] [-insts N] ...
+//
+// With -baseline, the uncompressed baseline runs too and the weighted
+// speedup is reported. -list prints the available workloads and schemes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ptmc"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "lbm06", "workload or mix name (-list to enumerate)")
+		scheme       = flag.String("scheme", ptmc.SchemeDynamicPTMC, "memory-controller scheme")
+		baseline     = flag.Bool("baseline", false, "also run the uncompressed baseline and report speedup")
+		insts        = flag.Int64("insts", 400_000, "measured instructions per core")
+		warmup       = flag.Int64("warmup", 700_000, "warmup instructions per core")
+		cores        = flag.Int("cores", 8, "number of cores (rate mode)")
+		channels     = flag.Int("channels", 2, "DRAM channels")
+		l3MB         = flag.Int("l3mb", 8, "LLC size in MB")
+		seed         = flag.Int64("seed", 1, "deterministic run seed")
+		list         = flag.Bool("list", false, "list workloads and schemes, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("schemes: ", strings.Join(ptmc.Schemes(), " "))
+		fmt.Println("workloads:")
+		for _, w := range ptmc.Workloads() {
+			fmt.Println("  " + w)
+		}
+		return
+	}
+
+	cfg := ptmc.DefaultConfig()
+	cfg.Workload = *workloadName
+	cfg.Scheme = *scheme
+	cfg.MeasureInstr = *insts
+	cfg.WarmupInstr = *warmup
+	cfg.Cores = *cores
+	cfg.DRAM.Channels = *channels
+	cfg.L3Bytes = *l3MB << 20
+	cfg.Seed = *seed
+
+	schemes := []string{*scheme}
+	if *baseline && *scheme != ptmc.SchemeUncompressed {
+		schemes = append(schemes, ptmc.SchemeUncompressed)
+	}
+	results, err := ptmc.Compare(cfg, schemes...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ptmcsim:", err)
+		os.Exit(1)
+	}
+
+	r := results[*scheme]
+	fmt.Println(r)
+	fmt.Printf("cycles=%d instructions=%d\n", r.Cycles, r.Instructions)
+	fmt.Printf("bandwidth: demandR=%d mispredictR=%d metadataR=%d prefetchR=%d\n",
+		r.Mem.DemandReads, r.Mem.MispredictReads, r.Mem.MetadataReads, r.Mem.PrefetchReads)
+	fmt.Printf("           dirtyW=%d cleanCompW=%d invalidateW=%d metadataW=%d\n",
+		r.Mem.DirtyWrites, r.Mem.CleanCompIntoW, r.Mem.Invalidates, r.Mem.MetadataWrites)
+	fmt.Printf("compression: 4:1=%d 2:1=%d singles=%d freeInstalls=%d usefulFree=%d coalesced=%d\n",
+		r.Mem.Groups4, r.Mem.Groups2, r.Mem.SinglesWrit, r.Mem.FreeInstalls,
+		r.Mem.UsefulFreePf, r.Mem.CoalescedReads)
+	fmt.Printf("robustness: inversions=%d rekeys=%d integrityErrs=%d\n",
+		r.Mem.Inversions, r.Mem.ReKeys, r.Mem.IntegrityErrs)
+	fmt.Printf("energy: %.3f J (%.2f W), EDP %.4g Js\n",
+		r.Energy.TotalJ, r.Energy.AvgWatts, r.Energy.EDP)
+
+	if base, ok := results[ptmc.SchemeUncompressed]; ok && *scheme != ptmc.SchemeUncompressed {
+		fmt.Printf("weighted speedup over uncompressed: %.3f\n", r.WeightedSpeedupOver(base))
+		fmt.Printf("bandwidth vs uncompressed: %.3f\n", r.BandwidthOver(base))
+	}
+}

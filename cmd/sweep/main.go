@@ -1,0 +1,96 @@
+// Command sweep runs parameter-sensitivity studies around the paper's
+// design points: channel count, LLC size, LLP size, metadata-cache size for
+// the table-based baseline, and ganged-eviction geometry (group size via
+// scheme choice). Each sweep reports Dynamic-PTMC's (or the named scheme's)
+// weighted speedup over the uncompressed baseline at every point.
+//
+// Usage:
+//
+//	sweep -kind channels -workload lbm06
+//	sweep -kind llc      -workload mcf06 -scheme ptmc
+//	sweep -kind llp      -workload lbm06
+//	sweep -kind mcache   -workload pr-twitter
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ptmc"
+)
+
+func main() {
+	var (
+		kind         = flag.String("kind", "channels", "sweep: channels | llc | llp | mcache | decomp | seeds")
+		workloadName = flag.String("workload", "lbm06", "workload name")
+		scheme       = flag.String("scheme", ptmc.SchemeDynamicPTMC, "scheme under test")
+		insts        = flag.Int64("insts", 400_000, "measured instructions per core")
+		warmup       = flag.Int64("warmup", 200_000, "warmup instructions per core")
+		cores        = flag.Int("cores", 8, "cores")
+		seed         = flag.Int64("seed", 1, "base seed")
+	)
+	flag.Parse()
+
+	base := ptmc.DefaultConfig()
+	base.Workload = *workloadName
+	base.MeasureInstr = *insts
+	base.WarmupInstr = *warmup
+	base.Cores = *cores
+	base.Seed = *seed
+
+	runPoint := func(label string, mutate func(*ptmc.Config)) {
+		cfg := base
+		mutate(&cfg)
+		rs, err := ptmc.Compare(cfg, ptmc.SchemeUncompressed, *scheme)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		r := rs[*scheme]
+		b := rs[ptmc.SchemeUncompressed]
+		fmt.Printf("%-12s speedup=%.3f ipc=%.3f bw=%.3f llp=%.1f%% mpki=%.1f\n",
+			label, r.WeightedSpeedupOver(b), r.IPC(), r.BandwidthOver(b),
+			100*r.LLPAccuracy, r.MPKI)
+	}
+
+	fmt.Printf("sweep %s on %s (%s vs uncompressed)\n", *kind, *workloadName, *scheme)
+	switch *kind {
+	case "channels":
+		for _, ch := range []int{1, 2, 4} {
+			ch := ch
+			runPoint(fmt.Sprintf("channels=%d", ch), func(c *ptmc.Config) { c.DRAM.Channels = ch })
+		}
+	case "llc":
+		for _, mb := range []int{2, 4, 8, 16} {
+			mb := mb
+			runPoint(fmt.Sprintf("llc=%dMB", mb), func(c *ptmc.Config) { c.L3Bytes = mb << 20 })
+		}
+	case "llp":
+		for _, n := range []int{64, 128, 256, 512, 1024, 4096} {
+			n := n
+			runPoint(fmt.Sprintf("llp=%d", n), func(c *ptmc.Config) { c.LLPEntries = n })
+		}
+	case "mcache":
+		*scheme = ptmc.SchemeTableTMC // metadata cache only exists there
+		for _, kb := range []int{8, 16, 32, 64, 128} {
+			kb := kb
+			runPoint(fmt.Sprintf("mcache=%dKB", kb), func(c *ptmc.Config) {
+				c.MCacheBytes = kb << 10
+			})
+		}
+	case "decomp":
+		for _, lat := range []int64{2, 5, 10, 20, 40} {
+			lat := lat
+			runPoint(fmt.Sprintf("decomp=%d", lat), func(c *ptmc.Config) { c.DecompCycles = lat })
+		}
+	case "seeds":
+		for s := int64(1); s <= 5; s++ {
+			s := s
+			runPoint(fmt.Sprintf("seed=%d", s), func(c *ptmc.Config) { c.Seed = s })
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "sweep: unknown kind %q\n", *kind)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,66 @@
+package ptmc_test
+
+import (
+	"fmt"
+
+	"ptmc"
+)
+
+// ExampleRun simulates one workload under the paper's full design and
+// prints whether data integrity held.
+func ExampleRun() {
+	cfg := ptmc.DefaultConfig()
+	cfg.Workload = "leela17"
+	cfg.Scheme = ptmc.SchemeDynamicPTMC
+	cfg.Cores = 2
+	cfg.L3Bytes = 1 << 20
+	cfg.WarmupInstr = 5_000
+	cfg.MeasureInstr = 20_000
+
+	result, err := ptmc.Run(cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("integrity errors:", result.Mem.IntegrityErrs)
+	// Output: integrity errors: 0
+}
+
+// ExampleCompare shows the paper's normalization: weighted speedup of a
+// scheme over the uncompressed baseline on the same workload and seed.
+func ExampleCompare() {
+	cfg := ptmc.DefaultConfig()
+	cfg.Workload = "exchange217"
+	cfg.Cores = 2
+	cfg.L3Bytes = 1 << 20
+	cfg.WarmupInstr = 5_000
+	cfg.MeasureInstr = 20_000
+
+	results, err := ptmc.Compare(cfg, ptmc.SchemeUncompressed, ptmc.SchemeDynamicPTMC)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	speedup := results[ptmc.SchemeDynamicPTMC].WeightedSpeedupOver(results[ptmc.SchemeUncompressed])
+	fmt.Println("speedup is positive:", speedup > 0)
+	// Output: speedup is positive: true
+}
+
+// ExampleCompressor compresses one 64-byte line with the paper's hybrid
+// FPC+BDI algorithm.
+func ExampleCompressor() {
+	line := make([]byte, 64) // a zero line: maximally compressible
+	hybrid := ptmc.NewHybridCompressor()
+	enc := hybrid.Compress(line)
+	fmt.Println("encoded bytes:", len(enc))
+
+	dec, _, err := hybrid.Decompress(enc)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("round trip ok:", string(dec) == string(line))
+	// Output:
+	// encoded bytes: 1
+	// round trip ok: true
+}

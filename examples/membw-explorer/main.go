@@ -1,0 +1,142 @@
+// Membw-explorer: two studies a memory-system architect would run with
+// this library.
+//
+//  1. Crossover study: sweep a synthetic workload's data compressibility
+//     (fraction of incompressible pages) and watch where Dynamic-PTMC's
+//     benefit crosses from speedup to neutral — the cost/benefit boundary
+//     the paper's Figure 15 straddles.
+//
+//  2. Compression shapes: how FPC, BDI, and the hybrid handle common value
+//     shapes, and which pairs fit PTMC's 60-byte budget.
+//
+// (The §IV-C attack-resilience scenario — engineered marker collisions, LIT
+// overflow, re-keying — needs access to the marker keys and is exercised in
+// internal/memctrl's adversarial tests instead.)
+//
+//	go run ./examples/membw-explorer
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"ptmc"
+)
+
+func main() {
+	crossoverStudy()
+	compressibilityTable()
+}
+
+// crossoverStudy sweeps the incompressible fraction of a streaming
+// workload's pages.
+func crossoverStudy() {
+	fmt.Println("== crossover: speedup vs fraction of incompressible data ==")
+	fmt.Printf("%12s %10s %12s %12s\n", "random-pages", "speedup", "freeFills", "extra-writes")
+	for _, randWeight := range []int{0, 25, 50, 75, 100} {
+		w := ptmc.Workload{
+			Name: fmt.Sprintf("sweep-r%d", randWeight), Suite: "custom",
+			FootprintBytes: 24 << 20,
+			MemFrac:        0.32, WriteFrac: 0.25,
+			SeqProb: 0.85, SeqRun: 48,
+			HotFrac: 0.02, HotProb: 0.2,
+			SweepBytes: 1 << 20,
+			Mix: ptmc.ValueMix{
+				{Kind: ptmc.KindZero, Weight: 30 * (100 - randWeight) / 100},
+				{Kind: ptmc.KindSmallInt, Weight: 70 * (100 - randWeight) / 100},
+				{Kind: ptmc.KindRandom, Weight: randWeight},
+			},
+		}
+		// Drop zero-weight entries (the mix validator requires weights).
+		mix := w.Mix[:0]
+		for _, e := range w.Mix {
+			if e.Weight > 0 {
+				mix = append(mix, e)
+			}
+		}
+		w.Mix = mix
+
+		cfg := ptmc.DefaultConfig()
+		cfg.Custom = &w
+		cfg.Workload = w.Name
+		cfg.Cores = 2
+		cfg.L3Bytes = 1 << 20
+		cfg.WarmupInstr = 150_000
+		cfg.MeasureInstr = 250_000
+		rs, err := ptmc.Compare(cfg, ptmc.SchemeUncompressed, ptmc.SchemeDynamicPTMC)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dyn := rs[ptmc.SchemeDynamicPTMC]
+		fmt.Printf("%11d%% %10.3f %12d %12d\n", randWeight,
+			dyn.WeightedSpeedupOver(rs[ptmc.SchemeUncompressed]),
+			dyn.Mem.FreeInstalls, dyn.Mem.CleanCompIntoW+dyn.Mem.Invalidates)
+	}
+	fmt.Println()
+}
+
+// compressibilityTable uses the compressors directly: how well do common
+// value shapes compress, and do 2 lines fit in PTMC's 60-byte budget?
+func compressibilityTable() {
+	fmt.Println("== per-line compression of common value shapes ==")
+	fmt.Printf("%-18s %6s %6s %8s %10s\n", "shape", "fpc", "bdi", "hybrid", "pair<=60B")
+	fpc, bdi, hyb := ptmc.NewFPCCompressor(), ptmc.NewBDICompressor(), ptmc.NewHybridCompressor()
+	for _, shape := range []struct {
+		name string
+		gen  func(i int) []byte
+	}{
+		{"zeros", func(int) []byte { return make([]byte, 64) }},
+		{"small-int32", func(i int) []byte { return ints32(i, 100) }},
+		{"pointer-array", func(i int) []byte { return pointers(i) }},
+		{"fp-doubles", func(i int) []byte { return doubles(i) }},
+		{"random", func(i int) []byte { return random(i) }},
+	} {
+		l0, l1 := shape.gen(0), shape.gen(1)
+		pair := len(hyb.Compress(l0)) + len(hyb.Compress(l1))
+		fit := "no"
+		if pair <= 60 {
+			fit = "yes"
+		}
+		fmt.Printf("%-18s %5dB %5dB %7dB %10s\n", shape.name,
+			len(fpc.Compress(l0)), len(bdi.Compress(l0)), len(hyb.Compress(l0)), fit)
+	}
+}
+
+func ints32(seed, bound int) []byte {
+	l := make([]byte, 64)
+	for i := 0; i < 16; i++ {
+		binary.LittleEndian.PutUint32(l[i*4:], uint32((seed*31+i*7)%bound))
+	}
+	return l
+}
+
+func pointers(seed int) []byte {
+	l := make([]byte, 64)
+	base := uint64(0x7F30_0000_0000) + uint64(seed)<<20
+	for i := 0; i < 8; i++ {
+		binary.LittleEndian.PutUint64(l[i*8:], base+uint64(i*64))
+	}
+	return l
+}
+
+func doubles(seed int) []byte {
+	l := make([]byte, 64)
+	h := uint64(seed)*0x9E3779B97F4A7C15 + 12345
+	for i := 0; i < 8; i++ {
+		h ^= h >> 13
+		h *= 0xFF51AFD7ED558CCD
+		binary.LittleEndian.PutUint64(l[i*8:], 0x3FF0_0000_0000_0000|h&0xF_FFFF_FFFF_FFFF)
+	}
+	return l
+}
+
+func random(seed int) []byte {
+	l := make([]byte, 64)
+	h := uint64(seed) + 99
+	for i := 0; i < 8; i++ {
+		h = h*6364136223846793005 + 1442695040888963407
+		binary.LittleEndian.PutUint64(l[i*8:], h)
+	}
+	return l
+}

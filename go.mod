@@ -1,0 +1,3 @@
+module ptmc
+
+go 1.22

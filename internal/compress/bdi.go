@@ -1,0 +1,265 @@
+package compress
+
+import "encoding/binary"
+
+// BDI implements Base-Delta-Immediate compression (Pekhimenko et al.): the
+// line is viewed as an array of k-byte elements; each element is stored as a
+// small delta from either a single per-line base or from an implicit zero
+// base ("immediate"). A per-element bitmask selects which base applies.
+//
+// Supported modes and their encoded payload sizes (excluding the 1-byte
+// header, which is always counted):
+//
+//	zeros    line is all zero                      0 bytes
+//	rep8     one 8-byte value repeated             8 bytes
+//	b8d1     8B elems, 1B deltas:  8+1+8  = 17
+//	b8d2     8B elems, 2B deltas:  8+1+16 = 25
+//	b8d4     8B elems, 4B deltas:  8+1+32 = 41
+//	b4d1     4B elems, 1B deltas:  4+2+16 = 22
+//	b4d2     4B elems, 2B deltas:  4+2+32 = 38
+//	b2d1     2B elems, 1B deltas:  2+4+32 = 38
+type BDI struct{}
+
+// Name implements Algorithm.
+func (BDI) Name() string { return "bdi" }
+
+// BDI mode numbers (stored in the low nibble of the header byte).
+const (
+	bdiZeros = iota
+	bdiRep8
+	bdiB8D1
+	bdiB8D2
+	bdiB8D4
+	bdiB4D1
+	bdiB4D2
+	bdiB2D1
+	bdiNumModes
+)
+
+// bdiMode describes one base-delta geometry.
+type bdiModeSpec struct {
+	elemSize  int // bytes per element
+	deltaSize int // bytes per delta
+}
+
+var bdiModes = [bdiNumModes]bdiModeSpec{
+	bdiB8D1: {8, 1},
+	bdiB8D2: {8, 2},
+	bdiB8D4: {8, 4},
+	bdiB4D1: {4, 1},
+	bdiB4D2: {4, 2},
+	bdiB2D1: {2, 1},
+}
+
+// tryOrder lists base-delta modes from smallest encoding to largest so the
+// compressor picks the tightest fit first.
+var bdiTryOrder = []int{bdiB8D1, bdiB4D1, bdiB8D2, bdiB2D1, bdiB4D2, bdiB8D4}
+
+// Compress implements Algorithm.
+func (b BDI) Compress(line []byte) []byte {
+	if err := checkLine(line); err != nil {
+		panic(err)
+	}
+	if isAllZero(line) {
+		return []byte{hdrBDI | bdiZeros}
+	}
+	if v, ok := repeated8(line); ok {
+		out := make([]byte, 1+8)
+		out[0] = hdrBDI | bdiRep8
+		binary.LittleEndian.PutUint64(out[1:], v)
+		return out
+	}
+	for _, mode := range bdiTryOrder {
+		if enc, ok := bdiEncode(line, mode); ok {
+			return enc
+		}
+	}
+	return rawEncode(line)
+}
+
+// Decompress implements Algorithm.
+func (b BDI) Decompress(enc []byte) ([]byte, int, error) {
+	if len(enc) == 0 {
+		return nil, 0, ErrTruncated
+	}
+	h := enc[0]
+	if h == hdrRaw {
+		return rawDecode(enc)
+	}
+	if h&0xF0 != hdrBDI {
+		return nil, 0, ErrBadHeader
+	}
+	mode := int(h & bdiMask)
+	switch mode {
+	case bdiZeros:
+		return make([]byte, LineSize), 1, nil
+	case bdiRep8:
+		if len(enc) < 9 {
+			return nil, 0, ErrTruncated
+		}
+		line := make([]byte, LineSize)
+		for i := 0; i < LineSize; i += 8 {
+			copy(line[i:], enc[1:9])
+		}
+		return line, 9, nil
+	case bdiB8D1, bdiB8D2, bdiB8D4, bdiB4D1, bdiB4D2, bdiB2D1:
+		return bdiDecode(enc, mode)
+	default:
+		return nil, 0, ErrBadHeader
+	}
+}
+
+// bdiEncodedLen returns the total encoded length (incl. header) of a
+// base-delta mode.
+func bdiEncodedLen(mode int) int {
+	spec := bdiModes[mode]
+	n := LineSize / spec.elemSize
+	return 1 + spec.elemSize + (n+7)/8 + n*spec.deltaSize
+}
+
+// bdiEncode attempts to encode line under the given base-delta mode. The
+// base is the first element not representable as a signed delta from zero;
+// every element must then fit either |e| (zero base) or |e-base| as a signed
+// deltaSize-byte value.
+func bdiEncode(line []byte, mode int) ([]byte, bool) {
+	spec := bdiModes[mode]
+	n := LineSize / spec.elemSize
+	deltaBits := uint(spec.deltaSize * 8)
+
+	elems := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		elems[i] = loadElem(line[i*spec.elemSize:], spec.elemSize)
+	}
+
+	var base uint64
+	haveBase := false
+	useBase := make([]bool, n)
+	for i, e := range elems {
+		if fitsSigned64(e, deltaBits, spec.elemSize) {
+			continue // zero-base immediate
+		}
+		if !haveBase {
+			base, haveBase = e, true
+		}
+		d := e - base
+		if !fitsSigned64(d, deltaBits, spec.elemSize) {
+			return nil, false
+		}
+		useBase[i] = true
+	}
+
+	out := make([]byte, bdiEncodedLen(mode))
+	out[0] = hdrBDI | byte(mode)
+	pos := 1
+	storeElem(out[pos:], base, spec.elemSize)
+	pos += spec.elemSize
+	maskBytes := (n + 7) / 8
+	for i := 0; i < n; i++ {
+		if useBase[i] {
+			out[pos+i/8] |= 1 << (i % 8)
+		}
+	}
+	pos += maskBytes
+	for i := 0; i < n; i++ {
+		d := elems[i]
+		if useBase[i] {
+			d = elems[i] - base
+		}
+		storeElem(out[pos:], d, spec.deltaSize)
+		pos += spec.deltaSize
+	}
+	return out, true
+}
+
+// bdiDecode reverses bdiEncode.
+func bdiDecode(enc []byte, mode int) ([]byte, int, error) {
+	spec := bdiModes[mode]
+	n := LineSize / spec.elemSize
+	total := bdiEncodedLen(mode)
+	if len(enc) < total {
+		return nil, 0, ErrTruncated
+	}
+	pos := 1
+	base := loadElem(enc[pos:], spec.elemSize)
+	pos += spec.elemSize
+	maskBytes := (n + 7) / 8
+	mask := enc[pos : pos+maskBytes]
+	pos += maskBytes
+
+	deltaBits := uint(spec.deltaSize * 8)
+	line := make([]byte, LineSize)
+	for i := 0; i < n; i++ {
+		d := signExtend64(loadElem(enc[pos:], spec.deltaSize), deltaBits)
+		pos += spec.deltaSize
+		e := d
+		if mask[i/8]&(1<<(i%8)) != 0 {
+			e = base + d
+		}
+		storeElem(line[i*spec.elemSize:], e, spec.elemSize)
+	}
+	return line, total, nil
+}
+
+// loadElem reads a little-endian unsigned value of size 1, 2, 4, or 8 bytes.
+func loadElem(b []byte, size int) uint64 {
+	switch size {
+	case 1:
+		return uint64(b[0])
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(b))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(b))
+	default:
+		return binary.LittleEndian.Uint64(b)
+	}
+}
+
+// storeElem writes the low `size` bytes of v little-endian.
+func storeElem(b []byte, v uint64, size int) {
+	switch size {
+	case 1:
+		b[0] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(b, uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(b, uint32(v))
+	default:
+		binary.LittleEndian.PutUint64(b, v)
+	}
+}
+
+// signExtend64 interprets the low n bits of v as two's complement.
+func signExtend64(v uint64, n uint) uint64 {
+	shift := 64 - n
+	return uint64(int64(v<<shift) >> shift)
+}
+
+// fitsSigned64 reports whether v — itself a value of elemSize bytes —
+// is representable as a signed n-bit delta. Values are first sign-extended
+// from their element width so that e.g. the 4-byte element 0xFFFFFFFF is the
+// delta -1, not 2^32-1.
+func fitsSigned64(v uint64, n uint, elemSize int) bool {
+	w := signExtend64(v, uint(elemSize*8))
+	return signExtend64(w, n) == w
+}
+
+// isAllZero reports whether every byte of line is zero.
+func isAllZero(line []byte) bool {
+	for _, b := range line {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// repeated8 reports whether the line is a single 8-byte value repeated.
+func repeated8(line []byte) (uint64, bool) {
+	v := binary.LittleEndian.Uint64(line)
+	for i := 8; i < LineSize; i += 8 {
+		if binary.LittleEndian.Uint64(line[i:]) != v {
+			return 0, false
+		}
+	}
+	return v, true
+}

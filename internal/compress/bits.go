@@ -1,0 +1,77 @@
+package compress
+
+// bitWriter packs values MSB-first into a byte slice. FPC encodings are
+// bit-granular (3-bit prefixes plus 3- to 32-bit payloads), so the writer
+// must be exact: the reported compressed size is ceil(bits/8). Bits are
+// staged in a 64-bit accumulator and emitted a byte at a time.
+type bitWriter struct {
+	buf  []byte
+	acc  uint64 // pending bits, most recent in the low positions
+	nacc uint   // number of valid pending bits (< 8 between calls)
+	nbit uint   // total bits written
+}
+
+// writeBits appends the low n bits of v, MSB-first. n must be <= 32.
+func (w *bitWriter) writeBits(v uint32, n uint) {
+	w.acc = w.acc<<n | uint64(v)&(1<<n-1)
+	w.nacc += n
+	w.nbit += n
+	for w.nacc >= 8 {
+		w.nacc -= 8
+		w.buf = append(w.buf, byte(w.acc>>w.nacc))
+	}
+}
+
+// bytes returns the packed buffer, flushing any partial final byte
+// (zero-padded on the right). The writer must not be used afterwards.
+func (w *bitWriter) bytes() []byte {
+	if w.nacc > 0 {
+		w.buf = append(w.buf, byte(w.acc<<(8-w.nacc)))
+		w.nacc = 0
+	}
+	return w.buf
+}
+
+// bits returns the exact number of bits written.
+func (w *bitWriter) bits() uint { return w.nbit }
+
+// bitReader consumes values MSB-first from a byte slice.
+type bitReader struct {
+	buf  []byte
+	acc  uint64
+	nacc uint
+	pos  int  // next byte to load
+	nbit uint // total bits consumed
+}
+
+// readBits reads n bits (n <= 32) MSB-first. ok is false on underflow.
+func (r *bitReader) readBits(n uint) (v uint32, ok bool) {
+	for r.nacc < n {
+		if r.pos >= len(r.buf) {
+			return 0, false
+		}
+		r.acc = r.acc<<8 | uint64(r.buf[r.pos])
+		r.pos++
+		r.nacc += 8
+	}
+	r.nacc -= n
+	r.nbit += n
+	mask := uint32(uint64(1)<<n - 1)
+	return uint32(r.acc>>r.nacc) & mask, true
+}
+
+// bytesConsumed reports how many whole bytes the reader has touched.
+func (r *bitReader) bytesConsumed() int { return int((r.nbit + 7) / 8) }
+
+// signExtend interprets the low n bits of v as a two's-complement signed
+// value and widens it to 32 bits.
+func signExtend(v uint32, n uint) uint32 {
+	shift := 32 - n
+	return uint32(int32(v<<shift) >> shift)
+}
+
+// fitsSigned reports whether the 32-bit word v is representable as an n-bit
+// two's-complement value.
+func fitsSigned(v uint32, n uint) bool {
+	return signExtend(v&(1<<n-1), n) == v
+}

@@ -1,0 +1,210 @@
+package compress
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitWriterReaderRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%60) + 1
+		vals := make([]uint32, count)
+		widths := make([]uint, count)
+		var w bitWriter
+		for i := range vals {
+			widths[i] = uint(rng.Intn(32)) + 1
+			vals[i] = rng.Uint32() & uint32(uint64(1)<<widths[i]-1)
+			w.writeBits(vals[i], widths[i])
+		}
+		r := bitReader{buf: w.bytes()}
+		for i := range vals {
+			got, ok := r.readBits(widths[i])
+			if !ok || got != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitWriterExactBitCount(t *testing.T) {
+	var w bitWriter
+	w.writeBits(0x5, 3)
+	w.writeBits(0x1FF, 9)
+	if w.bits() != 12 {
+		t.Errorf("bits = %d, want 12", w.bits())
+	}
+	if got := len(w.bytes()); got != 2 {
+		t.Errorf("bytes = %d, want 2 (12 bits rounds to 2)", got)
+	}
+}
+
+func TestBitWriterMSBFirstLayout(t *testing.T) {
+	var w bitWriter
+	w.writeBits(0b101, 3)
+	w.writeBits(0b00001, 5)
+	b := w.bytes()
+	if b[0] != 0b10100001 {
+		t.Errorf("packed byte = %08b, want 10100001", b[0])
+	}
+}
+
+func TestBitReaderUnderflow(t *testing.T) {
+	r := bitReader{buf: []byte{0xFF}}
+	if _, ok := r.readBits(8); !ok {
+		t.Fatal("8 bits should be available")
+	}
+	if _, ok := r.readBits(1); ok {
+		t.Error("9th bit should underflow")
+	}
+}
+
+func TestBitReader32BitValues(t *testing.T) {
+	var w bitWriter
+	w.writeBits(0xDEADBEEF, 32)
+	w.writeBits(0xFFFFFFFF, 32)
+	r := bitReader{buf: w.bytes()}
+	if v, ok := r.readBits(32); !ok || v != 0xDEADBEEF {
+		t.Errorf("read %08x", v)
+	}
+	if v, ok := r.readBits(32); !ok || v != 0xFFFFFFFF {
+		t.Errorf("read %08x", v)
+	}
+	if r.bytesConsumed() != 8 {
+		t.Errorf("consumed %d bytes, want 8", r.bytesConsumed())
+	}
+}
+
+func TestSignExtendAndFits(t *testing.T) {
+	cases := []struct {
+		v    uint32
+		n    uint
+		want uint32
+		fits bool
+	}{
+		{0x7, 4, 0x7, true},
+		{0x8, 4, 0xFFFFFFF8, false}, // 0x8 as 4-bit = -8 != +8
+		{0xFFFFFFF8, 4, 0xFFFFFFF8, true},
+		{0xFF, 8, 0xFFFFFFFF, false},
+		{0xFFFFFFFF, 8, 0xFFFFFFFF, true},
+		{0x7FFF, 16, 0x7FFF, true},
+	}
+	for _, tc := range cases {
+		if got := signExtend(tc.v&(1<<tc.n-1), tc.n); got != tc.want {
+			t.Errorf("signExtend(%#x, %d) = %#x, want %#x", tc.v, tc.n, got, tc.want)
+		}
+		if got := fitsSigned(tc.v, tc.n); got != tc.fits {
+			t.Errorf("fitsSigned(%#x, %d) = %v, want %v", tc.v, tc.n, got, tc.fits)
+		}
+	}
+}
+
+// TestFPCWordTable decodes each FPC pattern class individually.
+func TestFPCWordTable(t *testing.T) {
+	words := map[string]uint32{
+		"zero":         0x00000000,
+		"sign4-pos":    0x00000007,
+		"sign4-neg":    0xFFFFFFF9,
+		"sign8":        0x0000007F,
+		"sign8-neg":    0xFFFFFF80,
+		"sign16":       0x00007FFF,
+		"sign16-neg":   0xFFFF8000,
+		"highpad":      0x12340000,
+		"twohalf":      0x007F0080 | 0xFF000000&0, // 0x007F and 0x0080? adjust below
+		"repbyte":      0x42424242,
+		"uncompressed": 0x12345678,
+	}
+	words["twohalf"] = 0xFF80007F // halves 0xFF80 (-128) and 0x007F (+127)
+	for name, w := range words {
+		line := make([]byte, LineSize)
+		for i := 0; i < 16; i++ {
+			line[i*4] = byte(w)
+			line[i*4+1] = byte(w >> 8)
+			line[i*4+2] = byte(w >> 16)
+			line[i*4+3] = byte(w >> 24)
+		}
+		roundTrip(t, FPC{}, line)
+		_ = name
+	}
+}
+
+// TestFPCZeroRunBoundaries: runs of 1..16 zeros round-trip and the encoder
+// splits runs longer than 8.
+func TestFPCZeroRunBoundaries(t *testing.T) {
+	for zeros := 1; zeros <= 16; zeros++ {
+		line := make([]byte, LineSize)
+		for i := zeros; i < 16; i++ {
+			line[i*4] = 0xAB // non-zero filler words
+			line[i*4+3] = 0xCD
+		}
+		roundTrip(t, FPC{}, line)
+	}
+}
+
+// TestBDIModeBoundaries hits each base-delta mode's exact delta limits.
+func TestBDIModeBoundaries(t *testing.T) {
+	put64 := func(line []byte, i int, v uint64) {
+		for b := 0; b < 8; b++ {
+			line[i*8+b] = byte(v >> (8 * b))
+		}
+	}
+	cases := []struct {
+		name   string
+		deltas []int64
+	}{
+		{"d1-max", []int64{0, 127, -128, 1, -1, 100, -100, 64}},
+		{"d2-max", []int64{0, 32767, -32768, 1000, -1000, 200, -200, 5}},
+		{"d4-max", []int64{0, 2147483647, -2147483648, 1 << 20, -(1 << 20), 7, -7, 0}},
+	}
+	base := uint64(0x0123_4567_89AB_CDEF)
+	for _, tc := range cases {
+		line := make([]byte, LineSize)
+		for i, d := range tc.deltas {
+			put64(line, i, base+uint64(d))
+		}
+		enc := (BDI{}).Compress(line)
+		if len(enc) > LineSize {
+			t.Errorf("%s: did not compress (%d bytes)", tc.name, len(enc))
+		}
+		roundTrip(t, BDI{}, line)
+	}
+}
+
+func TestBDIElementWidths(t *testing.T) {
+	// 2-byte elements with 1-byte deltas (b2d1).
+	line := make([]byte, LineSize)
+	for i := 0; i < 32; i++ {
+		v := uint16(0x4000 + i)
+		line[i*2] = byte(v)
+		line[i*2+1] = byte(v >> 8)
+	}
+	roundTrip(t, BDI{}, line)
+	if n := len((BDI{}).Compress(line)); n > LineSize {
+		t.Errorf("b2d1-compressible line encoded to %d bytes", n)
+	}
+
+	// 4-byte elements with small spread (b4d1/b4d2).
+	for i := 0; i < 16; i++ {
+		v := uint32(0xABCD0000 + uint32(i*3))
+		line[i*4] = byte(v)
+		line[i*4+1] = byte(v >> 8)
+		line[i*4+2] = byte(v >> 16)
+		line[i*4+3] = byte(v >> 24)
+	}
+	roundTrip(t, BDI{}, line)
+}
+
+func TestGroupDecodeErrors(t *testing.T) {
+	alg := Hybrid{}
+	if _, err := DecompressGroup(alg, []byte{0xEE}, 2); err == nil {
+		t.Error("bad group blob should error")
+	}
+	if _, err := DecompressGroup(alg, nil, 1); err == nil {
+		t.Error("empty group blob should error")
+	}
+}

@@ -1,0 +1,84 @@
+// Package compress implements the per-line compression algorithms used by
+// PTMC: Frequent-Pattern Compression (FPC), Base-Delta-Immediate (BDI), and
+// the FPC+BDI hybrid the paper evaluates (compress with both, keep the
+// smaller encoding).
+//
+// All encodings produced by this package are self-delimiting: the first byte
+// identifies the algorithm/mode, and a decoder can recover both the original
+// 64-byte line and the number of encoded bytes consumed. This property is
+// what lets PTMC concatenate 2 or 4 compressed lines into a single 64-byte
+// memory location without any per-line length metadata.
+//
+// Reported sizes are honest: they include the header byte and any
+// algorithm-specific metadata (BDI base, FPC prefix bits), matching the
+// paper's methodology ("information about the compression algorithm used and
+// the compression-specific metadata ... are counted towards determining the
+// size of the compressed line").
+package compress
+
+import (
+	"errors"
+	"fmt"
+)
+
+// LineSize is the cache-line size in bytes. The whole design is built
+// around 64-byte lines (paper §I: "retaining support for 64-byte linesize").
+const LineSize = 64
+
+// Header bytes identifying the encoding of a compressed stream.
+const (
+	hdrFPC  = 0x00 // FPC bitstream follows
+	hdrBDI  = 0x10 // hdrBDI | mode: BDI payload follows
+	hdrRaw  = 0xFF // 64 raw bytes follow (incompressible)
+	bdiMask = 0x0F
+)
+
+// Errors returned by decoders.
+var (
+	ErrTruncated = errors.New("compress: truncated stream")
+	ErrBadHeader = errors.New("compress: unknown encoding header")
+	ErrBadLine   = errors.New("compress: line must be 64 bytes")
+)
+
+// Algorithm is a per-line compressor. Implementations must round-trip any
+// 64-byte input and report honest encoded sizes.
+type Algorithm interface {
+	// Name identifies the algorithm ("fpc", "bdi", "hybrid").
+	Name() string
+	// Compress encodes a 64-byte line. The result is self-delimiting and
+	// may be longer than LineSize for incompressible data (the caller
+	// compares len(enc) against its budget).
+	Compress(line []byte) []byte
+	// Decompress decodes one line from the front of enc, returning the
+	// 64-byte line and the number of bytes consumed.
+	Decompress(enc []byte) (line []byte, consumed int, err error)
+}
+
+// CompressedSize returns the encoded size in bytes of line under alg.
+func CompressedSize(alg Algorithm, line []byte) int {
+	return len(alg.Compress(line))
+}
+
+// rawEncode wraps an incompressible line: 1 header byte + 64 raw bytes.
+func rawEncode(line []byte) []byte {
+	out := make([]byte, 1+LineSize)
+	out[0] = hdrRaw
+	copy(out[1:], line)
+	return out
+}
+
+func rawDecode(enc []byte) ([]byte, int, error) {
+	if len(enc) < 1+LineSize {
+		return nil, 0, ErrTruncated
+	}
+	line := make([]byte, LineSize)
+	copy(line, enc[1:1+LineSize])
+	return line, 1 + LineSize, nil
+}
+
+func checkLine(line []byte) error {
+	if len(line) != LineSize {
+		return fmt.Errorf("%w (got %d)", ErrBadLine, len(line))
+	}
+	return nil
+}

@@ -1,0 +1,309 @@
+package compress
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var algorithms = []Algorithm{FPC{}, BDI{}, Hybrid{}}
+
+// roundTrip compresses and decompresses a line, checking identity and that
+// the decoder consumed exactly the encoded length.
+func roundTrip(t *testing.T, alg Algorithm, line []byte) {
+	t.Helper()
+	enc := alg.Compress(line)
+	dec, consumed, err := alg.Decompress(enc)
+	if err != nil {
+		t.Fatalf("%s: decompress: %v", alg.Name(), err)
+	}
+	if consumed != len(enc) {
+		t.Fatalf("%s: consumed %d, encoded %d", alg.Name(), consumed, len(enc))
+	}
+	if !bytes.Equal(dec, line) {
+		t.Fatalf("%s: round trip mismatch\n in: %x\nout: %x", alg.Name(), line, dec)
+	}
+}
+
+func TestRoundTripZeros(t *testing.T) {
+	line := make([]byte, LineSize)
+	for _, alg := range algorithms {
+		roundTrip(t, alg, line)
+	}
+}
+
+func TestZeroLineSizes(t *testing.T) {
+	line := make([]byte, LineSize)
+	if n := len((BDI{}).Compress(line)); n != 1 {
+		t.Errorf("BDI zero line = %d bytes, want 1", n)
+	}
+	// FPC: two zero runs of 8 words = 2*(3+3) bits = 12 bits -> 2 bytes + header.
+	if n := len((FPC{}).Compress(line)); n != 3 {
+		t.Errorf("FPC zero line = %d bytes, want 3", n)
+	}
+	if n := len((Hybrid{}).Compress(line)); n != 1 {
+		t.Errorf("Hybrid zero line = %d bytes, want 1 (BDI wins)", n)
+	}
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		line := make([]byte, LineSize)
+		rng.Read(line)
+		for _, alg := range algorithms {
+			roundTrip(t, alg, line)
+		}
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	for _, alg := range algorithms {
+		alg := alg
+		f := func(a [LineSize]byte) bool {
+			enc := alg.Compress(a[:])
+			dec, consumed, err := alg.Decompress(enc)
+			return err == nil && consumed == len(enc) && bytes.Equal(dec, a[:])
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+			t.Errorf("%s: %v", alg.Name(), err)
+		}
+	}
+}
+
+// TestRoundTripStructured exercises the value shapes the workload
+// generators emit (the shapes FPC/BDI were designed for).
+func TestRoundTripStructured(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	gens := map[string]func() []byte{
+		"small-ints": func() []byte {
+			line := make([]byte, LineSize)
+			for i := 0; i < 16; i++ {
+				binary.LittleEndian.PutUint32(line[i*4:], uint32(rng.Intn(256))-128)
+			}
+			return line
+		},
+		"pointers": func() []byte {
+			line := make([]byte, LineSize)
+			base := uint64(0x7F5A_0000_0000) | uint64(rng.Intn(1<<20))<<12
+			for i := 0; i < 8; i++ {
+				binary.LittleEndian.PutUint64(line[i*8:], base+uint64(rng.Intn(4096)))
+			}
+			return line
+		},
+		"base-delta16": func() []byte {
+			line := make([]byte, LineSize)
+			base := rng.Uint64()
+			for i := 0; i < 8; i++ {
+				binary.LittleEndian.PutUint64(line[i*8:], base+uint64(rng.Intn(65536))-32768)
+			}
+			return line
+		},
+		"sparse-zero": func() []byte {
+			line := make([]byte, LineSize)
+			for i := 0; i < 4; i++ {
+				line[rng.Intn(LineSize)] = byte(rng.Intn(256))
+			}
+			return line
+		},
+		"float-ish": func() []byte {
+			line := make([]byte, LineSize)
+			for i := 0; i < 8; i++ {
+				binary.LittleEndian.PutUint64(line[i*8:], rng.Uint64()|0x3FF0_0000_0000_0000)
+			}
+			return line
+		},
+	}
+	for name, gen := range gens {
+		for i := 0; i < 200; i++ {
+			line := gen()
+			for _, alg := range algorithms {
+				roundTrip(t, alg, line)
+			}
+			_ = name
+		}
+	}
+}
+
+func TestFPCPatterns(t *testing.T) {
+	cases := []struct {
+		name  string
+		words [16]uint32
+		// maxBytes is an upper bound on the encoding (header included).
+		maxBytes int
+	}{
+		{"all-zero", [16]uint32{}, 3},
+		{"sign4", fill16(0xFFFFFFF9), 1 + (16*7+7)/8},   // -7 each: 7 bits/word
+		{"sign8", fill16(0xFFFFFF85), 1 + (16*11+7)/8},  // -123
+		{"sign16", fill16(0x00001234), 1 + (16*19+7)/8}, // 0x1234
+		{"highpad", fill16(0xABCD0000), 1 + (16*19+7)/8},
+		{"twohalf", fill16(0xFF80007F), 1 + (16*19+7)/8},
+		{"repbyte", fill16(0xABABABAB), 1 + (16*11+7)/8},
+		{"uncomp", fill16(0xDEADBEEF), 1 + (16*35+7)/8},
+	}
+	for _, tc := range cases {
+		line := make([]byte, LineSize)
+		for i, w := range tc.words {
+			binary.LittleEndian.PutUint32(line[i*4:], w)
+		}
+		enc := (FPC{}).Compress(line)
+		if len(enc) > tc.maxBytes {
+			t.Errorf("%s: encoded %d bytes, want <= %d", tc.name, len(enc), tc.maxBytes)
+		}
+		roundTrip(t, FPC{}, line)
+	}
+}
+
+func fill16(v uint32) (a [16]uint32) {
+	for i := range a {
+		a[i] = v
+	}
+	return
+}
+
+func TestBDIModes(t *testing.T) {
+	line := make([]byte, LineSize)
+	// Repeated 8-byte value.
+	for i := 0; i < 8; i++ {
+		binary.LittleEndian.PutUint64(line[i*8:], 0xDEADBEEF_CAFEF00D)
+	}
+	enc := (BDI{}).Compress(line)
+	if len(enc) != 9 {
+		t.Errorf("rep8: %d bytes, want 9", len(enc))
+	}
+	roundTrip(t, BDI{}, line)
+
+	// Base-8 delta-1: large base, tiny deltas.
+	for i := 0; i < 8; i++ {
+		binary.LittleEndian.PutUint64(line[i*8:], 0x1122334455667788+uint64(i))
+	}
+	enc = (BDI{}).Compress(line)
+	if want := bdiEncodedLen(bdiB8D1); len(enc) != want {
+		t.Errorf("b8d1: %d bytes, want %d", len(enc), want)
+	}
+	roundTrip(t, BDI{}, line)
+
+	// Mixed zero-base and big-base (immediate path).
+	for i := 0; i < 8; i++ {
+		v := uint64(0x7F00_0000_1000_0000) + uint64(i*8)
+		if i%2 == 0 {
+			v = uint64(i) // near zero -> immediate
+		}
+		binary.LittleEndian.PutUint64(line[i*8:], v)
+	}
+	roundTrip(t, BDI{}, line)
+	enc = (BDI{}).Compress(line)
+	if len(enc) > LineSize {
+		t.Errorf("mixed immediate: %d bytes, want <= 64", len(enc))
+	}
+}
+
+func TestBDINegativeDeltas(t *testing.T) {
+	line := make([]byte, LineSize)
+	base := uint64(0x8000_0000_0000_0000)
+	for i := 0; i < 8; i++ {
+		binary.LittleEndian.PutUint64(line[i*8:], base-uint64(i*3))
+	}
+	roundTrip(t, BDI{}, line)
+}
+
+func TestHybridPicksSmaller(t *testing.T) {
+	// A line of tiny 4-byte ints: FPC should beat BDI's b4d1 (22 bytes).
+	line := make([]byte, LineSize)
+	for i := 0; i < 16; i++ {
+		binary.LittleEndian.PutUint32(line[i*4:], uint32(i%3))
+	}
+	f := len((FPC{}).Compress(line))
+	b := len((BDI{}).Compress(line))
+	h := len((Hybrid{}).Compress(line))
+	if h != min(f, b) {
+		t.Errorf("hybrid=%d, fpc=%d, bdi=%d: hybrid should match min", h, f, b)
+	}
+}
+
+func TestIncompressibleFallsBackToRaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	line := make([]byte, LineSize)
+	rng.Read(line)
+	enc := (Hybrid{}).Compress(line)
+	if len(enc) != 1+LineSize {
+		t.Errorf("random line: %d bytes, want %d (raw)", len(enc), 1+LineSize)
+	}
+	roundTrip(t, Hybrid{}, line)
+}
+
+func TestDecompressErrors(t *testing.T) {
+	for _, alg := range algorithms {
+		if _, _, err := alg.Decompress(nil); err == nil {
+			t.Errorf("%s: nil input should error", alg.Name())
+		}
+		if _, _, err := alg.Decompress([]byte{0xEE}); err == nil {
+			t.Errorf("%s: bad header should error", alg.Name())
+		}
+	}
+	// Truncated raw stream.
+	if _, _, err := (Hybrid{}).Decompress([]byte{0xFF, 1, 2}); err == nil {
+		t.Error("truncated raw should error")
+	}
+	// Truncated BDI rep8.
+	if _, _, err := (BDI{}).Decompress([]byte{hdrBDI | bdiRep8, 1}); err == nil {
+		t.Error("truncated rep8 should error")
+	}
+	// Truncated FPC stream.
+	zeros := make([]byte, LineSize)
+	enc := (FPC{}).Compress(zeros)
+	if _, _, err := (FPC{}).Decompress(enc[:1]); err == nil {
+		t.Error("truncated FPC should error")
+	}
+}
+
+func TestCompressGroup(t *testing.T) {
+	alg := Hybrid{}
+	mk := func(seed int64) []byte {
+		line := make([]byte, LineSize)
+		for i := 0; i < 16; i++ {
+			binary.LittleEndian.PutUint32(line[i*4:], uint32(seed))
+		}
+		return line
+	}
+	lines := [][]byte{mk(1), mk(2), mk(3), mk(4)}
+	blob, ok := CompressGroup(alg, lines, 60)
+	if !ok {
+		t.Fatal("four compressible lines should fit in 60 bytes")
+	}
+	got, err := DecompressGroup(alg, blob, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range lines {
+		if !bytes.Equal(got[i], lines[i]) {
+			t.Errorf("line %d mismatch", i)
+		}
+	}
+
+	// Incompressible pair must not fit.
+	rng := rand.New(rand.NewSource(5))
+	r1 := make([]byte, LineSize)
+	r2 := make([]byte, LineSize)
+	rng.Read(r1)
+	rng.Read(r2)
+	if _, ok := CompressGroup(alg, [][]byte{r1, r2}, 60); ok {
+		t.Error("two random lines should not fit in 60 bytes")
+	}
+}
+
+func TestCompressedSizeHelper(t *testing.T) {
+	line := make([]byte, LineSize)
+	if got := CompressedSize(Hybrid{}, line); got != 1 {
+		t.Errorf("CompressedSize zero line = %d, want 1", got)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,188 @@
+package compress
+
+import "encoding/binary"
+
+// FPC implements Frequent-Pattern Compression (Alameldeen & Wood): each
+// 32-bit word of the line is encoded with a 3-bit prefix selecting one of
+// eight patterns. Zero words additionally run-length encode (up to 8 zeros
+// per prefix).
+//
+// Prefix table (payload bits in parentheses):
+//
+//	000 zero run, run length 1-8 (3)
+//	001 4-bit sign-extended (4)
+//	010 8-bit sign-extended (8)
+//	011 16-bit sign-extended (16)
+//	100 16-bit padded with zeros: low half zero (16)
+//	101 two halfwords, each a sign-extended byte (16)
+//	110 word of four repeated bytes (8)
+//	111 uncompressed word (32)
+type FPC struct{}
+
+// Name implements Algorithm.
+func (FPC) Name() string { return "fpc" }
+
+const (
+	fpcZeroRun  = 0
+	fpcSign4    = 1
+	fpcSign8    = 2
+	fpcSign16   = 3
+	fpcHighPad  = 4
+	fpcTwoHalf  = 5
+	fpcRepByte  = 6
+	fpcUncomp   = 7
+	fpcNumWords = LineSize / 4
+)
+
+// Compress implements Algorithm. The result is hdrFPC followed by the FPC
+// bitstream; if the bitstream would not fit a 64-byte budget the caller
+// simply observes len > 64 and falls back (the hybrid does this).
+func (f FPC) Compress(line []byte) []byte {
+	if err := checkLine(line); err != nil {
+		panic(err)
+	}
+	var w bitWriter
+	i := 0
+	for i < fpcNumWords {
+		v := binary.LittleEndian.Uint32(line[i*4:])
+		if v == 0 {
+			run := 1
+			for i+run < fpcNumWords && run < 8 &&
+				binary.LittleEndian.Uint32(line[(i+run)*4:]) == 0 {
+				run++
+			}
+			w.writeBits(fpcZeroRun, 3)
+			w.writeBits(uint32(run-1), 3)
+			i += run
+			continue
+		}
+		switch {
+		case fitsSigned(v, 4):
+			w.writeBits(fpcSign4, 3)
+			w.writeBits(v&0xF, 4)
+		case fitsSigned(v, 8):
+			w.writeBits(fpcSign8, 3)
+			w.writeBits(v&0xFF, 8)
+		case fitsSigned(v, 16):
+			w.writeBits(fpcSign16, 3)
+			w.writeBits(v&0xFFFF, 16)
+		case v&0xFFFF == 0:
+			w.writeBits(fpcHighPad, 3)
+			w.writeBits(v>>16, 16)
+		case isTwoHalfwords(v):
+			w.writeBits(fpcTwoHalf, 3)
+			w.writeBits((v>>16&0xFF)<<8|v&0xFF, 16)
+		case isRepeatedBytes(v):
+			w.writeBits(fpcRepByte, 3)
+			w.writeBits(v&0xFF, 8)
+		default:
+			w.writeBits(fpcUncomp, 3)
+			w.writeBits(v, 32)
+		}
+		i++
+	}
+	out := make([]byte, 1, 1+len(w.bytes()))
+	out[0] = hdrFPC
+	return append(out, w.bytes()...)
+}
+
+// Decompress implements Algorithm.
+func (f FPC) Decompress(enc []byte) ([]byte, int, error) {
+	if len(enc) == 0 {
+		return nil, 0, ErrTruncated
+	}
+	if enc[0] == hdrRaw {
+		return rawDecode(enc)
+	}
+	if enc[0] != hdrFPC {
+		return nil, 0, ErrBadHeader
+	}
+	r := bitReader{buf: enc[1:]}
+	line := make([]byte, LineSize)
+	i := 0
+	for i < fpcNumWords {
+		prefix, ok := r.readBits(3)
+		if !ok {
+			return nil, 0, ErrTruncated
+		}
+		var v uint32
+		switch prefix {
+		case fpcZeroRun:
+			runM1, ok := r.readBits(3)
+			if !ok {
+				return nil, 0, ErrTruncated
+			}
+			run := int(runM1) + 1
+			if i+run > fpcNumWords {
+				return nil, 0, ErrTruncated
+			}
+			i += run // words already zero
+			continue
+		case fpcSign4:
+			p, ok := r.readBits(4)
+			if !ok {
+				return nil, 0, ErrTruncated
+			}
+			v = signExtend(p, 4)
+		case fpcSign8:
+			p, ok := r.readBits(8)
+			if !ok {
+				return nil, 0, ErrTruncated
+			}
+			v = signExtend(p, 8)
+		case fpcSign16:
+			p, ok := r.readBits(16)
+			if !ok {
+				return nil, 0, ErrTruncated
+			}
+			v = signExtend(p, 16)
+		case fpcHighPad:
+			p, ok := r.readBits(16)
+			if !ok {
+				return nil, 0, ErrTruncated
+			}
+			v = p << 16
+		case fpcTwoHalf:
+			p, ok := r.readBits(16)
+			if !ok {
+				return nil, 0, ErrTruncated
+			}
+			hi := signExtend(p>>8, 8)
+			lo := signExtend(p&0xFF, 8)
+			v = hi<<16 | lo&0xFFFF
+		case fpcRepByte:
+			p, ok := r.readBits(8)
+			if !ok {
+				return nil, 0, ErrTruncated
+			}
+			v = p | p<<8 | p<<16 | p<<24
+		case fpcUncomp:
+			p, ok := r.readBits(32)
+			if !ok {
+				return nil, 0, ErrTruncated
+			}
+			v = p
+		}
+		binary.LittleEndian.PutUint32(line[i*4:], v)
+		i++
+	}
+	return line, 1 + r.bytesConsumed(), nil
+}
+
+// isTwoHalfwords reports whether each 16-bit half of v sign-extends from a
+// byte (pattern 101).
+func isTwoHalfwords(v uint32) bool {
+	return halfFromByte(v>>16) && halfFromByte(v&0xFFFF)
+}
+
+// halfFromByte reports whether the 16-bit value h equals the sign extension
+// of its own low byte (e.g. 0xFF80 extends from 0x80, 0x007F from 0x7F).
+func halfFromByte(h uint32) bool {
+	return h == signExtend(h&0xFF, 8)&0xFFFF
+}
+
+// isRepeatedBytes reports whether v consists of one byte repeated 4 times.
+func isRepeatedBytes(v uint32) bool {
+	b := v & 0xFF
+	return v == b|b<<8|b<<16|b<<24
+}

@@ -1,0 +1,75 @@
+package compress
+
+// Hybrid is the FPC+BDI compressor used by the paper ("we use a hybrid of
+// FPC and BDI algorithms and compress with the one that gives better
+// compression"). The 1-byte header of each encoding identifies which
+// algorithm produced it, so decompression needs no side information.
+type Hybrid struct {
+	fpc FPC
+	bdi BDI
+}
+
+// Name implements Algorithm.
+func (Hybrid) Name() string { return "hybrid" }
+
+// Compress implements Algorithm: both algorithms run and the smaller
+// encoding wins; incompressible lines fall back to the 65-byte raw form.
+func (h Hybrid) Compress(line []byte) []byte {
+	f := h.fpc.Compress(line)
+	b := h.bdi.Compress(line)
+	best := f
+	if len(b) < len(best) {
+		best = b
+	}
+	if len(best) > 1+LineSize {
+		return rawEncode(line)
+	}
+	return best
+}
+
+// Decompress implements Algorithm, dispatching on the header byte.
+func (h Hybrid) Decompress(enc []byte) ([]byte, int, error) {
+	if len(enc) == 0 {
+		return nil, 0, ErrTruncated
+	}
+	switch {
+	case enc[0] == hdrRaw:
+		return rawDecode(enc)
+	case enc[0] == hdrFPC:
+		return h.fpc.Decompress(enc)
+	case enc[0]&0xF0 == hdrBDI:
+		return h.bdi.Decompress(enc)
+	default:
+		return nil, 0, ErrBadHeader
+	}
+}
+
+// CompressGroup concatenates the hybrid encodings of 2 or 4 adjacent lines
+// and reports whether they fit within budget bytes (PTMC uses a 60-byte
+// budget: 64 minus the 4-byte marker). On success the returned blob is the
+// concatenation of self-delimiting per-line encodings, in order.
+func CompressGroup(alg Algorithm, lines [][]byte, budget int) ([]byte, bool) {
+	var blob []byte
+	for _, l := range lines {
+		enc := alg.Compress(l)
+		blob = append(blob, enc...)
+		if len(blob) > budget {
+			return nil, false
+		}
+	}
+	return blob, true
+}
+
+// DecompressGroup decodes n concatenated per-line encodings from blob.
+func DecompressGroup(alg Algorithm, blob []byte, n int) ([][]byte, error) {
+	lines := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		line, consumed, err := alg.Decompress(blob)
+		if err != nil {
+			return nil, err
+		}
+		lines = append(lines, line)
+		blob = blob[consumed:]
+	}
+	return lines, nil
+}

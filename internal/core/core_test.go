@@ -1,0 +1,286 @@
+package core
+
+import (
+	"testing"
+
+	"ptmc/internal/cache"
+	"ptmc/internal/mem"
+)
+
+func TestLITInsertContainsRemove(t *testing.T) {
+	l := NewLIT(LITReKey)
+	if inv, _ := l.Contains(5); inv {
+		t.Error("empty LIT should not contain anything")
+	}
+	if over := l.Insert(5); over {
+		t.Error("first insert should not overflow")
+	}
+	if inv, extra := l.Contains(5); !inv || extra {
+		t.Error("inserted address should be found on-chip")
+	}
+	l.Insert(5) // duplicate is a no-op
+	if l.Live() != 1 {
+		t.Errorf("live = %d, want 1", l.Live())
+	}
+	l.Remove(5)
+	if inv, _ := l.Contains(5); inv {
+		t.Error("removed address should be gone")
+	}
+	l.Remove(5) // removing absent entry is safe
+}
+
+func TestLITOverflowReKeyMode(t *testing.T) {
+	l := NewLIT(LITReKey)
+	for i := 0; i < LITEntries; i++ {
+		if l.Insert(mem.LineAddr(i)) {
+			t.Fatalf("insert %d overflowed early", i)
+		}
+	}
+	if !l.Insert(mem.LineAddr(LITEntries)) {
+		t.Error("17th insert must signal overflow")
+	}
+	if l.Overflows != 1 {
+		t.Errorf("overflows = %d, want 1", l.Overflows)
+	}
+	l.Clear()
+	if l.Live() != 0 {
+		t.Error("clear should empty the table")
+	}
+}
+
+func TestLITMemoryMappedSpill(t *testing.T) {
+	l := NewLIT(LITMemoryMapped)
+	for i := 0; i <= LITEntries; i++ {
+		if l.Insert(mem.LineAddr(i)) {
+			t.Error("memory-mapped mode must absorb overflow")
+		}
+	}
+	if l.Live() != LITEntries+1 {
+		t.Errorf("live = %d, want %d", l.Live(), LITEntries+1)
+	}
+	// The spilled entry costs an extra access to find.
+	inv, extra := l.Contains(mem.LineAddr(LITEntries))
+	if !inv || !extra {
+		t.Error("spilled entry should be found with an extra memory access")
+	}
+	if l.SpillReads == 0 {
+		t.Error("spill reads should be counted")
+	}
+	l.Remove(mem.LineAddr(LITEntries))
+	if inv, _ := l.Contains(mem.LineAddr(LITEntries)); inv {
+		t.Error("spilled entry should be removable")
+	}
+	if len(l.Addresses()) != LITEntries {
+		t.Errorf("addresses = %d, want %d", len(l.Addresses()), LITEntries)
+	}
+}
+
+func TestLITStorageMatchesTableIII(t *testing.T) {
+	if NewLIT(LITReKey).StorageBytes() != 64 {
+		t.Error("LIT storage should be 64 bytes (Table III)")
+	}
+}
+
+func TestLLPPredictsLastLevelPerPage(t *testing.T) {
+	p := NewLLP(LLPEntries)
+	a := mem.LineAddr(64 * 10) // some page
+	if p.Predict(a) != cache.Uncompressed {
+		t.Error("cold prediction should be Uncompressed")
+	}
+	p.Record(a, cache.Comp4, true, false)
+	// Same page, different line: page-granular prediction.
+	if p.Predict(a+5) != cache.Comp4 {
+		t.Error("prediction should follow last level seen for the page")
+	}
+	if p.Accuracy() != 0 {
+		t.Errorf("accuracy = %v after one wrong prediction", p.Accuracy())
+	}
+	p.Record(a+5, cache.Comp4, true, true)
+	if p.Accuracy() != 0.5 {
+		t.Errorf("accuracy = %v, want 0.5", p.Accuracy())
+	}
+}
+
+func TestLLPUncountedRecord(t *testing.T) {
+	p := NewLLP(64)
+	p.Record(0, cache.Comp2, false, false)
+	if p.Predictions != 0 {
+		t.Error("uncounted record must not affect accuracy stats")
+	}
+	if p.Predict(0) != cache.Comp2 {
+		t.Error("uncounted record must still train the table")
+	}
+	if p.Accuracy() != 0 {
+		t.Error("accuracy with no predictions should be 0")
+	}
+}
+
+func TestLLPStorageMatchesTableIII(t *testing.T) {
+	if NewLLP(LLPEntries).StorageBytes() != 128 {
+		t.Error("512-entry LLP should cost 128 bytes (Table III)")
+	}
+}
+
+func TestLLPBadSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two LLP should panic")
+		}
+	}()
+	NewLLP(100)
+}
+
+func TestMappingGeometry(t *testing.T) {
+	cases := []struct {
+		a          mem.LineAddr
+		group      mem.LineAddr
+		pair       mem.LineAddr
+		idx        int
+		needsPred  bool
+		candidates int
+	}{
+		{100, 100, 100, 0, false, 1},
+		{101, 100, 100, 1, true, 2},
+		{102, 100, 102, 2, true, 2},
+		{103, 100, 102, 3, true, 3},
+	}
+	for _, tc := range cases {
+		if GroupBase(tc.a) != tc.group || PairBase(tc.a) != tc.pair || GroupIndex(tc.a) != tc.idx {
+			t.Errorf("addr %d: geometry mismatch", tc.a)
+		}
+		if NeedsPrediction(tc.a) != tc.needsPred {
+			t.Errorf("addr %d: NeedsPrediction = %v", tc.a, !tc.needsPred)
+		}
+		if got := len(CandidateHomes(tc.a)); got != tc.candidates {
+			t.Errorf("addr %d: %d candidate homes, want %d", tc.a, got, tc.candidates)
+		}
+	}
+}
+
+func TestHomeForAndMembers(t *testing.T) {
+	a := mem.LineAddr(103)
+	if HomeFor(a, cache.Comp4) != 100 || HomeFor(a, cache.Comp2) != 102 || HomeFor(a, cache.Uncompressed) != 103 {
+		t.Error("HomeFor mismatch")
+	}
+	if got := MembersAt(100, cache.Comp4); len(got) != 4 || got[3] != 103 {
+		t.Errorf("MembersAt 4:1 = %v", got)
+	}
+	if got := MembersAt(102, cache.Comp2); len(got) != 2 || got[1] != 103 {
+		t.Errorf("MembersAt 2:1 = %v", got)
+	}
+	if got := MembersAt(103, cache.Uncompressed); len(got) != 1 {
+		t.Errorf("MembersAt uncompressed = %v", got)
+	}
+	if !Covers(100, cache.Comp4, 103) || Covers(100, cache.Comp2, 103) {
+		t.Error("Covers mismatch")
+	}
+}
+
+func TestCandidateHomesOrder(t *testing.T) {
+	// Most-compressed first, then pair, then own location.
+	got := CandidateHomes(103)
+	want := []mem.LineAddr{100, 102, 103}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("candidates = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestUtilityCounterSaturation(t *testing.T) {
+	c := NewUtilityCounter()
+	if !c.Enabled() {
+		t.Error("counter should start enabled (MSB set)")
+	}
+	for i := 0; i < counterMax+100; i++ {
+		c.Cost()
+	}
+	if c.Value() != 0 {
+		t.Errorf("value = %d, want saturated 0", c.Value())
+	}
+	if c.Enabled() {
+		t.Error("fully costed counter should disable compression")
+	}
+	for i := 0; i < counterMax+100; i++ {
+		c.Benefit()
+	}
+	if c.Value() != counterMax {
+		t.Errorf("value = %d, want saturated %d", c.Value(), counterMax)
+	}
+	if !c.Enabled() {
+		t.Error("fully benefited counter should enable compression")
+	}
+	if c.Benefits == 0 || c.Costs == 0 {
+		t.Error("event counts should accumulate")
+	}
+}
+
+func TestDynamicSampling(t *testing.T) {
+	d := NewDynamic(8192, 8, 0.01, false)
+	if d.SampledSets() != 81 {
+		t.Errorf("sampled sets = %d, want 81 (1%% of 8192)", d.SampledSets())
+	}
+	if !d.Sampled(0) || d.Sampled(81) {
+		t.Error("sampling boundary wrong")
+	}
+	// Sampled sets compress regardless of the counter.
+	for i := 0; i < counterMax; i++ {
+		d.Cost(3)
+	}
+	if !d.ShouldCompress(3, 0) {
+		t.Error("sampled set must always compress")
+	}
+	if d.ShouldCompress(3, 5000) {
+		t.Error("non-sampled set should follow the (disabled) counter")
+	}
+}
+
+func TestDynamicAtLeastOneSampledSet(t *testing.T) {
+	d := NewDynamic(16, 1, 0.01, false)
+	if d.SampledSets() != 1 {
+		t.Errorf("sampled sets = %d, want at least 1", d.SampledSets())
+	}
+}
+
+func TestDynamicPerCoreIsolation(t *testing.T) {
+	d := NewDynamic(8192, 8, 0.01, true)
+	for i := 0; i < counterMax; i++ {
+		d.Cost(0) // core 0 is compression-hostile
+	}
+	if d.ShouldCompress(0, 5000) {
+		t.Error("core 0 should have compression disabled")
+	}
+	if !d.ShouldCompress(1, 5000) {
+		t.Error("core 1 must be unaffected by core 0's costs")
+	}
+	if len(d.Counters()) != 8 {
+		t.Errorf("counters = %d, want 8", len(d.Counters()))
+	}
+}
+
+func TestDynamicStorage(t *testing.T) {
+	if got := NewDynamic(8192, 8, 0.01, true).StorageBytes(); got != 12 {
+		t.Errorf("per-core dynamic storage = %d bytes, want 12 (Table III)", got)
+	}
+	if got := NewDynamic(8192, 8, 0.01, false).StorageBytes(); got != 2 {
+		t.Errorf("global dynamic storage = %d bytes, want 2", got)
+	}
+}
+
+// TestTableIIITotalStorage reproduces Table III: total PTMC structures
+// under 300 bytes.
+func TestTableIIITotalStorage(t *testing.T) {
+	marker2 := 4
+	marker4 := 4
+	markerIL := 64
+	lit := NewLIT(LITReKey).StorageBytes()
+	llp := NewLLP(LLPEntries).StorageBytes()
+	dyn := NewDynamic(8192, 8, 0.01, true).StorageBytes()
+	total := marker2 + marker4 + markerIL + lit + llp + dyn
+	if total != 276 {
+		t.Errorf("total storage = %d bytes, want 276 (Table III)", total)
+	}
+	if total >= 300 {
+		t.Errorf("total storage = %d, paper claims < 300 bytes", total)
+	}
+}

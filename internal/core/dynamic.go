@@ -1,0 +1,164 @@
+package core
+
+// Dynamic-PTMC (§V): 1% of LLC sets always compress ("sampled" sets) and
+// feed a 12-bit saturating utility counter — incremented on the bandwidth
+// benefit of compression (a useful free prefetch), decremented on each cost
+// (compressed writeback of a clean line, invalidate, LLP-mispredict
+// re-access). The counter's MSB gates compression for the other 99% of
+// sets. Per-core counters extend the scheme so one compression-hostile
+// core cannot disable compression for everyone.
+
+// CounterBits is the width of the utility counter (12 bits, Table III).
+const CounterBits = 12
+
+const (
+	counterMax = 1<<CounterBits - 1
+	counterMSB = 1 << (CounterBits - 1)
+
+	// Hysteresis thresholds around the MSB boundary: compression turns
+	// off only after the counter falls a quarter-range below the midpoint
+	// and back on only after it climbs a quarter-range above. Without the
+	// band, workloads near break-even flap on/off and pay the group
+	// re-setup (invalidate + rewrite) cost on every transition.
+	counterLo = counterMSB - counterMSB/2
+	counterHi = counterMSB + counterMSB/2
+)
+
+// UtilityCounter is one saturating cost/benefit counter with hysteresis.
+type UtilityCounter struct {
+	v       int
+	enabled bool
+
+	Benefits uint64
+	Costs    uint64
+}
+
+// counterStart is the initial value: enabled (MSB set) with a small cushion
+// above the threshold, so compression must prove harmful over a sustained
+// run of net cost events before it is disabled — one unlucky event at the
+// boundary must not flip the policy, but a genuinely hostile workload
+// disables quickly even at laptop-scale horizons.
+const counterStart = counterMSB + 64
+
+// NewUtilityCounter starts enabled with a cushion above the MSB threshold.
+func NewUtilityCounter() *UtilityCounter {
+	return &UtilityCounter{v: counterStart, enabled: true}
+}
+
+// Benefit records a bandwidth win (useful free prefetch on a sampled set).
+func (c *UtilityCounter) Benefit() { c.BenefitN(1) }
+
+// BenefitN records n benefit steps (saturating).
+func (c *UtilityCounter) BenefitN(n int) {
+	c.Benefits++
+	c.v += n
+	if c.v > counterMax {
+		c.v = counterMax
+	}
+	if c.v > counterHi {
+		c.enabled = true
+	}
+}
+
+// Cost records a bandwidth loss (extra writeback, invalidate, mispredict).
+func (c *UtilityCounter) Cost() { c.CostN(1) }
+
+// CostN records n cost steps (saturating).
+func (c *UtilityCounter) CostN(n int) {
+	c.Costs++
+	c.v -= n
+	if c.v < 0 {
+		c.v = 0
+	}
+	if c.v < counterLo {
+		c.enabled = false
+	}
+}
+
+// Enabled reports whether compression should be applied to non-sampled
+// sets (the MSB decision of the paper, widened by the hysteresis band).
+func (c *UtilityCounter) Enabled() bool { return c.enabled }
+
+// Value returns the raw counter (diagnostics).
+func (c *UtilityCounter) Value() int { return c.v }
+
+// Dynamic is the full Dynamic-PTMC policy engine.
+type Dynamic struct {
+	perCore  bool
+	counters []*UtilityCounter // one, or one per core
+	numSets  int
+	sampleHi int // sets with index < sampleHi are sampled (1% of sets)
+
+	// GainBenefit/GainCost are the counter steps per event. The paper's
+	// unit steps assume a billion-instruction horizon; at the laptop-scale
+	// horizons this repo simulates, larger steps make the counter traverse
+	// the same fraction of its range per unit of workload behavior. The
+	// benefit step is weighted above the cost step because a benefit event
+	// is an eliminated latency-critical read while a cost event is an
+	// added write that drains opportunistically. Set both to 1 for the
+	// paper's literal counter.
+	GainBenefit int
+	GainCost    int
+}
+
+// NewDynamic builds the policy for an LLC with numSets sets. sampleFrac is
+// the fraction of sampled sets (the paper uses 0.01); at least one set is
+// always sampled. If perCore is true, one counter per core is kept and
+// decisions are per requesting core (§V-A).
+func NewDynamic(numSets, cores int, sampleFrac float64, perCore bool) *Dynamic {
+	n := 1
+	if perCore {
+		n = cores
+	}
+	d := &Dynamic{
+		perCore:  perCore,
+		counters: make([]*UtilityCounter, n),
+		numSets:  numSets,
+	}
+	for i := range d.counters {
+		d.counters[i] = NewUtilityCounter()
+	}
+	d.sampleHi = int(float64(numSets) * sampleFrac)
+	if d.sampleHi < 1 {
+		d.sampleHi = 1
+	}
+	d.GainBenefit, d.GainCost = 32, 8
+	return d
+}
+
+// Sampled reports whether an LLC set is a sampled (always-compress) set.
+func (d *Dynamic) Sampled(setIndex int) bool { return setIndex < d.sampleHi }
+
+// SampledSets returns the number of sampled sets.
+func (d *Dynamic) SampledSets() int { return d.sampleHi }
+
+func (d *Dynamic) counter(core int) *UtilityCounter {
+	if d.perCore {
+		return d.counters[core]
+	}
+	return d.counters[0]
+}
+
+// Benefit records a benefit event attributed to core (sampled sets only).
+func (d *Dynamic) Benefit(core int) { d.counter(core).BenefitN(d.GainBenefit) }
+
+// Cost records a cost event attributed to core (sampled sets only).
+func (d *Dynamic) Cost(core int) { d.counter(core).CostN(d.GainCost) }
+
+// ShouldCompress decides whether a non-sampled-set eviction by core should
+// be compressed. Sampled sets always compress regardless.
+func (d *Dynamic) ShouldCompress(core, setIndex int) bool {
+	if d.Sampled(setIndex) {
+		return true
+	}
+	return d.counter(core).Enabled()
+}
+
+// Counters exposes the counters for stats reporting.
+func (d *Dynamic) Counters() []*UtilityCounter { return d.counters }
+
+// StorageBytes returns the counter storage cost (12 bits per counter,
+// rounded up; Table III lists 12 bytes for the 8-core per-core design).
+func (d *Dynamic) StorageBytes() int {
+	return (len(d.counters)*CounterBits + 7) / 8
+}

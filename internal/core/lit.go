@@ -1,0 +1,150 @@
+package core
+
+import "ptmc/internal/mem"
+
+// LITMode selects how marker collisions beyond the on-chip table are
+// handled (paper §IV-C "Efficiently Handling LIT Overflows").
+type LITMode int
+
+const (
+	// LITReKey (Option-2): on overflow, regenerate marker keys and
+	// re-encode memory. The on-chip table alone tracks inverted lines.
+	LITReKey LITMode = iota
+	// LITMemoryMapped (Option-1): a one-bit-per-line table in reserved
+	// memory backs the on-chip entries; overflows spill to memory at the
+	// cost of an extra access per collision-affected line.
+	LITMemoryMapped
+)
+
+// LITEntries is the paper's on-chip capacity: 16 entries × (valid + 30-bit
+// line address) = 64 bytes for a 16 GB memory.
+const LITEntries = 16
+
+// LIT is the Line Inversion Table: the set of lines currently stored in
+// inverted form because their uncompressed data collided with a marker.
+type LIT struct {
+	mode    LITMode
+	entries [LITEntries]struct {
+		valid bool
+		addr  mem.LineAddr
+	}
+	spill map[mem.LineAddr]bool // memory-mapped backing (Option-1)
+
+	// Stats
+	Inserts    uint64
+	Removes    uint64
+	Overflows  uint64
+	SpillReads uint64 // extra memory accesses in memory-mapped mode
+	MaxLive    int
+}
+
+// NewLIT builds a LIT in the given overflow mode.
+func NewLIT(mode LITMode) *LIT {
+	l := &LIT{mode: mode}
+	if mode == LITMemoryMapped {
+		l.spill = make(map[mem.LineAddr]bool)
+	}
+	return l
+}
+
+// Mode returns the overflow mode.
+func (l *LIT) Mode() LITMode { return l.mode }
+
+// Contains reports whether addr is stored inverted. In memory-mapped mode a
+// lookup that misses the on-chip entries costs a memory access, which the
+// caller observes via the second return (extraAccess).
+func (l *LIT) Contains(addr mem.LineAddr) (inverted, extraAccess bool) {
+	for i := range l.entries {
+		if l.entries[i].valid && l.entries[i].addr == addr {
+			return true, false
+		}
+	}
+	if l.mode == LITMemoryMapped {
+		l.SpillReads++
+		return l.spill[addr], true
+	}
+	return false, false
+}
+
+// Insert records that addr is now stored inverted. It returns overflowed =
+// true when the on-chip table is full: in LITReKey mode the caller must
+// re-key and re-encode memory (which empties the LIT); in memory-mapped
+// mode the entry spills to memory and operation continues.
+func (l *LIT) Insert(addr mem.LineAddr) (overflowed bool) {
+	l.Inserts++
+	for i := range l.entries {
+		if l.entries[i].valid && l.entries[i].addr == addr {
+			return false // already tracked
+		}
+	}
+	for i := range l.entries {
+		if !l.entries[i].valid {
+			l.entries[i].valid = true
+			l.entries[i].addr = addr
+			if n := l.Live(); n > l.MaxLive {
+				l.MaxLive = n
+			}
+			return false
+		}
+	}
+	l.Overflows++
+	if l.mode == LITMemoryMapped {
+		l.spill[addr] = true
+		return false
+	}
+	return true
+}
+
+// Remove clears tracking for addr (its stored form is no longer inverted).
+func (l *LIT) Remove(addr mem.LineAddr) {
+	for i := range l.entries {
+		if l.entries[i].valid && l.entries[i].addr == addr {
+			l.entries[i].valid = false
+			l.Removes++
+			return
+		}
+	}
+	if l.mode == LITMemoryMapped && l.spill[addr] {
+		delete(l.spill, addr)
+		l.Removes++
+	}
+}
+
+// Clear empties the table (after a re-key re-encodes memory).
+func (l *LIT) Clear() {
+	for i := range l.entries {
+		l.entries[i].valid = false
+	}
+	if l.spill != nil {
+		l.spill = make(map[mem.LineAddr]bool)
+	}
+}
+
+// Live returns the number of tracked inverted lines.
+func (l *LIT) Live() int {
+	n := 0
+	for i := range l.entries {
+		if l.entries[i].valid {
+			n++
+		}
+	}
+	return n + len(l.spill)
+}
+
+// Addresses returns every tracked address (testing and re-encode sweeps).
+func (l *LIT) Addresses() []mem.LineAddr {
+	var out []mem.LineAddr
+	for i := range l.entries {
+		if l.entries[i].valid {
+			out = append(out, l.entries[i].addr)
+		}
+	}
+	for a := range l.spill {
+		out = append(out, a)
+	}
+	return out
+}
+
+// StorageBytes returns the on-chip cost: 16 × (1 valid bit + 30-bit line
+// address) rounded to the paper's 64 bytes.
+func (l *LIT) StorageBytes() int { return 64 }

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"ptmc/internal/cache"
+	"ptmc/internal/mem"
+)
+
+// GroupLines is the maximum compression group: up to 4 adjacent lines
+// co-located in one 64-byte location (§II-B address mapping).
+const GroupLines = 4
+
+// GroupBase returns the address of the first line in a's 4-line group —
+// where a 4:1 compressed quad lives.
+func GroupBase(a mem.LineAddr) mem.LineAddr { return a &^ 3 }
+
+// PairBase returns the address of the first line in a's 2-line pair —
+// where a 2:1 compressed pair lives.
+func PairBase(a mem.LineAddr) mem.LineAddr { return a &^ 1 }
+
+// GroupIndex returns a's position (0-3) within its group.
+func GroupIndex(a mem.LineAddr) int { return int(a & 3) }
+
+// HomeFor returns where a line resides if stored at the given compression
+// level: its own address when uncompressed, the pair base at 2:1, the
+// group base at 4:1.
+func HomeFor(a mem.LineAddr, level cache.Level) mem.LineAddr {
+	switch level {
+	case cache.Comp4:
+		return GroupBase(a)
+	case cache.Comp2:
+		return PairBase(a)
+	default:
+		return a
+	}
+}
+
+// MembersAt returns the line addresses stored together at location home for
+// the given level, in address order (the order their encodings concatenate
+// in the 60-byte payload).
+func MembersAt(home mem.LineAddr, level cache.Level) []mem.LineAddr {
+	switch level {
+	case cache.Comp4:
+		b := GroupBase(home)
+		return []mem.LineAddr{b, b + 1, b + 2, b + 3}
+	case cache.Comp2:
+		b := PairBase(home)
+		return []mem.LineAddr{b, b + 1}
+	default:
+		return []mem.LineAddr{home}
+	}
+}
+
+// Covers reports whether a line stored at level `level` at location `home`
+// includes address a.
+func Covers(home mem.LineAddr, level cache.Level, a mem.LineAddr) bool {
+	for _, m := range MembersAt(home, level) {
+		if m == a {
+			return true
+		}
+	}
+	return false
+}
+
+// NeedsPrediction reports whether locating line a requires the LLP: the
+// group-base line resides at the same address regardless of compression, so
+// only non-base lines are predicted (§IV-A: "there is no need for location
+// prediction while accessing line A").
+func NeedsPrediction(a mem.LineAddr) bool { return GroupIndex(a) != 0 }
+
+// CandidateHomes lists the possible locations of line a from most- to
+// least-compressed, excluding duplicates. On an LLP miss the controller
+// probes the remaining candidates in a deterministic order.
+func CandidateHomes(a mem.LineAddr) []mem.LineAddr {
+	homes := []mem.LineAddr{GroupBase(a)}
+	if pb := PairBase(a); pb != homes[0] {
+		homes = append(homes, pb)
+	}
+	if a != homes[0] && a != PairBase(a) {
+		homes = append(homes, a)
+	}
+	return homes
+}

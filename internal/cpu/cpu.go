@@ -1,0 +1,138 @@
+// Package cpu models the out-of-order cores at USIMM's fidelity: a
+// reorder-buffer window, N-wide fetch and in-order retire, immediate
+// completion for non-memory instructions, and memory instructions that
+// complete when the hierarchy answers. Memory-level parallelism — multiple
+// misses in flight per core — emerges from the ROB window, which is what
+// makes the model bandwidth-sensitive.
+package cpu
+
+import "ptmc/internal/workload"
+
+// MemAccess is the hierarchy hook: the core calls it for each memory
+// instruction; done must fire at the CPU cycle the load would complete.
+// Stores retire without waiting (store-buffer semantics) but still call
+// done for bookkeeping.
+type MemAccess func(core int, vaddr uint64, write bool, now int64, done func(completeAt int64))
+
+// Config sizes a core (Table I: 4-wide OoO, USIMM's 192-entry ROB).
+type Config struct {
+	ROB         int
+	FetchWidth  int
+	RetireWidth int
+}
+
+// DefaultConfig returns the paper's core configuration.
+func DefaultConfig() Config {
+	return Config{ROB: 192, FetchWidth: 4, RetireWidth: 4}
+}
+
+const notDone = int64(1<<62 - 1)
+
+// noopDone is the shared completion callback for stores (retirement does
+// not wait on them).
+func noopDone(int64) {}
+
+// Core is one simulated core fed by a workload stream.
+type Core struct {
+	id     int
+	cfg    Config
+	stream workload.Source
+	access MemAccess
+
+	rob   []int64 // completion cycle per in-flight instruction
+	head  int
+	tail  int
+	count int
+
+	gapLeft int          // non-memory instructions pending before nextOp
+	nextOp  *workload.Op // memory op waiting to enter the ROB
+
+	retired  int64
+	limit    int64
+	finished int64 // cycle the limit-th instruction retired (-1 until then)
+}
+
+// New builds a core.
+func New(id int, cfg Config, stream workload.Source, access MemAccess) *Core {
+	return &Core{
+		id:       id,
+		cfg:      cfg,
+		stream:   stream,
+		access:   access,
+		rob:      make([]int64, cfg.ROB),
+		finished: -1,
+	}
+}
+
+// SetLimit sets the retirement target; the core stops fetching once
+// reached. Call before running.
+func (c *Core) SetLimit(n int64) { c.limit = n }
+
+// Retired returns the number of retired instructions.
+func (c *Core) Retired() int64 { return c.retired }
+
+// FinishedAt returns the cycle the core hit its limit, or -1.
+func (c *Core) FinishedAt() int64 { return c.finished }
+
+// Done reports whether the core has retired its limit.
+func (c *Core) Done() bool { return c.finished >= 0 }
+
+// ResetWindow restarts retirement counting (end of warmup): retired
+// instructions so far are forgotten, the limit applies afresh.
+func (c *Core) ResetWindow(limit int64) {
+	c.retired = 0
+	c.limit = limit
+	c.finished = -1
+}
+
+// Cycle advances the core by one CPU cycle.
+func (c *Core) Cycle(now int64) {
+	// Retire in order.
+	for n := 0; n < c.cfg.RetireWidth && c.count > 0; n++ {
+		if c.rob[c.head] > now {
+			break
+		}
+		c.head = (c.head + 1) % len(c.rob)
+		c.count--
+		c.retired++
+		if c.finished < 0 && c.retired >= c.limit {
+			c.finished = now
+		}
+	}
+	if c.finished >= 0 {
+		return // target reached: stop fetching, let the window drain
+	}
+	// Fetch up to width.
+	for n := 0; n < c.cfg.FetchWidth && c.count < len(c.rob); n++ {
+		if c.gapLeft == 0 && c.nextOp == nil {
+			op := c.stream.Next()
+			c.gapLeft = op.Gap
+			c.nextOp = &op
+		}
+		slot := c.tail
+		c.tail = (c.tail + 1) % len(c.rob)
+		c.count++
+		if c.gapLeft > 0 {
+			c.gapLeft--
+			c.rob[slot] = now + 1 // non-memory op
+			continue
+		}
+		op := c.nextOp
+		c.nextOp = nil
+		if op.Write {
+			// Stores retire from the store buffer immediately; the
+			// hierarchy still sees the access.
+			c.rob[slot] = now + 1
+			c.access(c.id, op.VAddr, true, now, noopDone)
+			continue
+		}
+		c.rob[slot] = notDone
+		idx := slot
+		c.access(c.id, op.VAddr, false, now, func(completeAt int64) {
+			c.rob[idx] = completeAt
+		})
+	}
+}
+
+// Stream exposes the core's workload source (data synthesis callbacks).
+func (c *Core) Stream() workload.Source { return c.stream }

@@ -1,0 +1,162 @@
+package cpu
+
+import (
+	"testing"
+
+	"ptmc/internal/workload"
+)
+
+// testStream builds a small deterministic workload stream.
+func testStream(memFrac float64) *workload.Stream {
+	w := &workload.Workload{
+		Name: "cpu-test", Suite: "test",
+		FootprintBytes: 1 << 20,
+		MemFrac:        memFrac, WriteFrac: 0.2,
+		SeqProb: 0.5, SeqRun: 8,
+		HotFrac: 0.1, HotProb: 0.5,
+		Mix: workload.ValueMix{{Kind: workload.KindZero, Weight: 1}},
+	}
+	return w.NewStream(1)
+}
+
+func TestRetiresAtFetchWidthWhenMemoryIsInstant(t *testing.T) {
+	var accesses int
+	access := func(core int, vaddr uint64, write bool, now int64, done func(int64)) {
+		accesses++
+		done(now + 1)
+	}
+	c := New(0, DefaultConfig(), testStream(0.3), access)
+	c.SetLimit(10_000)
+	var now int64
+	for !c.Done() {
+		now++
+		c.Cycle(now)
+		if now > 100_000 {
+			t.Fatal("core did not finish")
+		}
+	}
+	// 4-wide with 1-cycle memory: IPC must approach the width.
+	ipc := float64(10_000) / float64(c.FinishedAt())
+	if ipc < 3.0 {
+		t.Errorf("IPC = %.2f, want near 4 with instant memory", ipc)
+	}
+	if accesses == 0 {
+		t.Error("no memory accesses issued")
+	}
+}
+
+func TestSlowMemoryThrottlesIPC(t *testing.T) {
+	run := func(lat int64) int64 {
+		access := func(core int, vaddr uint64, write bool, now int64, done func(int64)) {
+			done(now + lat)
+		}
+		c := New(0, DefaultConfig(), testStream(0.3), access)
+		c.SetLimit(5_000)
+		var now int64
+		for !c.Done() {
+			now++
+			c.Cycle(now)
+			if now > 10_000_000 {
+				t.Fatal("stuck")
+			}
+		}
+		return c.FinishedAt()
+	}
+	fast, slow := run(10), run(500)
+	if slow <= fast {
+		t.Errorf("500-cycle memory (%d cycles) should be slower than 10-cycle (%d)", slow, fast)
+	}
+}
+
+func TestROBLimitsMLP(t *testing.T) {
+	// With a huge memory latency, the number of overlapping outstanding
+	// loads is bounded by the ROB (memory-level parallelism window).
+	outstanding, maxOutstanding := 0, 0
+	var pending []func(int64)
+	access := func(core int, vaddr uint64, write bool, now int64, done func(int64)) {
+		if write {
+			done(now + 1)
+			return
+		}
+		outstanding++
+		if outstanding > maxOutstanding {
+			maxOutstanding = outstanding
+		}
+		pending = append(pending, func(c int64) {
+			outstanding--
+			done(c)
+		})
+	}
+	cfg := Config{ROB: 32, FetchWidth: 4, RetireWidth: 4}
+	c := New(0, cfg, testStream(0.9), access) // memory-heavy
+	c.SetLimit(1_000)
+	var now int64
+	for !c.Done() && now < 1_000_000 {
+		now++
+		c.Cycle(now)
+		if now%200 == 0 { // periodically complete everything outstanding
+			for _, f := range pending {
+				f(now)
+			}
+			pending = nil
+		}
+	}
+	if maxOutstanding == 0 || maxOutstanding > cfg.ROB {
+		t.Errorf("max outstanding loads = %d, want in (0, %d]", maxOutstanding, cfg.ROB)
+	}
+}
+
+func TestStoresDoNotBlockRetirement(t *testing.T) {
+	// Never complete any store; loads complete instantly. The core must
+	// still retire (stores drain through the store buffer).
+	access := func(core int, vaddr uint64, write bool, now int64, done func(int64)) {
+		if !write {
+			done(now + 1)
+		}
+	}
+	w := &workload.Workload{
+		Name: "stores", Suite: "test",
+		FootprintBytes: 1 << 20,
+		MemFrac:        0.5, WriteFrac: 1.0, // all stores
+		SeqProb: 0.5, SeqRun: 8, HotFrac: 0.1, HotProb: 0.5,
+		Mix: workload.ValueMix{{Kind: workload.KindZero, Weight: 1}},
+	}
+	c := New(0, DefaultConfig(), w.NewStream(2), access)
+	c.SetLimit(5_000)
+	var now int64
+	for !c.Done() {
+		now++
+		c.Cycle(now)
+		if now > 1_000_000 {
+			t.Fatal("stores blocked retirement")
+		}
+	}
+}
+
+func TestResetWindow(t *testing.T) {
+	access := func(core int, vaddr uint64, write bool, now int64, done func(int64)) {
+		done(now + 1)
+	}
+	c := New(0, DefaultConfig(), testStream(0.3), access)
+	c.SetLimit(1_000)
+	var now int64
+	for !c.Done() {
+		now++
+		c.Cycle(now)
+	}
+	warmupEnd := c.FinishedAt()
+	c.ResetWindow(1_000)
+	if c.Done() || c.Retired() != 0 {
+		t.Fatal("reset window should clear progress")
+	}
+	for !c.Done() {
+		now++
+		c.Cycle(now)
+	}
+	if c.FinishedAt() <= warmupEnd {
+		t.Error("second window must finish after the first")
+	}
+	if c.Stream() == nil {
+		t.Error("stream accessor broken")
+	}
+}

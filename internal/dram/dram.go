@@ -1,0 +1,393 @@
+// Package dram models a DDR4-like main memory at the fidelity USIMM
+// provides to the paper: channels with shared data buses, ranks and banks
+// with open-row state, FR-FCFS scheduling, read-priority with write-drain
+// watermarks, and bank timing constraints (tRCD/tRP/tCAS/tRAS, burst
+// occupancy). Bandwidth contention — the quantity PTMC lives or dies by —
+// emerges from data-bus occupancy per 64-byte burst.
+//
+// All externally visible times are CPU cycles; the DRAM command clock runs
+// once every Config.BusRatio CPU cycles.
+package dram
+
+import (
+	"fmt"
+
+	"ptmc/internal/mem"
+)
+
+// Config describes the memory organization and timing. Timing fields are in
+// memory-controller (bus) cycles, as datasheets quote them.
+type Config struct {
+	Channels        int
+	RanksPerChannel int
+	BanksPerRank    int
+	RowLines        int // 64-byte lines per row buffer (128 => 8 KB rows)
+
+	TRCD   int // activate -> column command
+	TRP    int // precharge
+	TCAS   int // column command -> first data
+	TRAS   int // activate -> precharge minimum
+	TBurst int // data-bus occupancy per 64B line (BL8 on a 64-bit bus = 4)
+
+	ReadQCap     int // per-channel read queue capacity
+	WriteQCap    int // per-channel write queue capacity
+	WriteDrainHi int // enter write-drain at this write-queue depth
+	WriteDrainLo int // leave write-drain at this depth
+
+	BusRatio int // CPU cycles per memory-bus cycle (3.2 GHz / 0.8 GHz = 4)
+}
+
+// DDR4 returns the paper's Table I configuration: 2 channels, 2 ranks,
+// 800 MHz bus (DDR 1.6 GT/s), DDR4-1600-class timings (13.75-13.75-13.75-35 ns).
+func DDR4() Config {
+	return Config{
+		Channels:        2,
+		RanksPerChannel: 2,
+		BanksPerRank:    8,
+		RowLines:        128,
+		TRCD:            11,
+		TRP:             11,
+		TCAS:            11,
+		TRAS:            28,
+		TBurst:          4,
+		ReadQCap:        32,
+		WriteQCap:       32,
+		WriteDrainHi:    28,
+		WriteDrainLo:    12,
+		BusRatio:        4,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Channels <= 0 || c.Channels&(c.Channels-1) != 0:
+		return fmt.Errorf("dram: channels must be a positive power of two, got %d", c.Channels)
+	case c.RanksPerChannel <= 0, c.BanksPerRank <= 0:
+		return fmt.Errorf("dram: ranks/banks must be positive")
+	case c.RowLines < 4:
+		return fmt.Errorf("dram: RowLines must be >= 4 (one compression group)")
+	case c.BusRatio <= 0:
+		return fmt.Errorf("dram: BusRatio must be positive")
+	case c.WriteDrainLo >= c.WriteDrainHi:
+		return fmt.Errorf("dram: WriteDrainLo must be < WriteDrainHi")
+	case c.WriteDrainHi > c.WriteQCap:
+		return fmt.Errorf("dram: WriteDrainHi must be <= WriteQCap")
+	}
+	return nil
+}
+
+// Request is one transfer. OnComplete (optional, reads normally set it)
+// fires at the CPU cycle the data burst finishes. Beats is the burst length
+// in 8-byte bus beats: 0 or 8 is a full 64-byte line; smaller values model
+// reduced-burst transfers (MemZip-style designs on non-commodity DIMMs).
+type Request struct {
+	Addr       mem.LineAddr
+	Write      bool
+	Beats      int
+	OnComplete func(now int64)
+
+	enq        int64 // CPU cycle the request entered the queue
+	completeAt int64
+}
+
+// Stats counts DRAM events. Reads/Writes are bursts; RowHits counts column
+// accesses that hit an open row; Activates counts row activations.
+type Stats struct {
+	Reads        uint64
+	Writes       uint64
+	RowHits      uint64
+	Activates    uint64
+	Precharges   uint64
+	BusBusy      uint64 // CPU cycles of data-bus occupancy, summed over channels
+	ReadLatency  uint64 // summed CPU cycles from enqueue to data, reads only
+	ReadCount    uint64
+	DrainEnters  uint64
+	RetriesFull  uint64 // enqueue rejections due to full queues
+	MaxReadQ     int
+	MaxWriteQ    int
+	IdleChannels uint64
+}
+
+type bank struct {
+	openRow int64 // -1 when closed
+	freeAt  int64 // CPU cycle the bank can accept a new column access
+	actAt   int64 // CPU cycle of last activation (for tRAS)
+}
+
+type channel struct {
+	banks     []bank
+	readQ     []*Request
+	writeQ    []*Request
+	busFreeAt int64
+	inflight  []*Request // issued reads waiting for completion callback
+	draining  bool
+}
+
+// DRAM is the timing model. Tick must be called every memory-bus cycle
+// (i.e. every BusRatio CPU cycles) with the current CPU cycle.
+type DRAM struct {
+	cfg   Config
+	chans []*channel
+	Stats Stats
+
+	// decode shift/mask precomputed
+	chanMask  uint64
+	chanBits  uint
+	colBits   uint
+	bankBits  uint
+	rankBits  uint
+	tRCD      int64
+	tRP       int64
+	tCAS      int64
+	tRAS      int64
+	tBurst    int64
+	nextWake  int64
+	busyUntil int64
+}
+
+// New builds a DRAM model from cfg.
+func New(cfg Config) (*DRAM, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := &DRAM{cfg: cfg}
+	for i := 0; i < cfg.Channels; i++ {
+		ch := &channel{banks: make([]bank, cfg.RanksPerChannel*cfg.BanksPerRank)}
+		for b := range ch.banks {
+			ch.banks[b].openRow = -1
+		}
+		d.chans = append(d.chans, ch)
+	}
+	d.chanMask = uint64(cfg.Channels - 1)
+	d.chanBits = log2(uint64(cfg.Channels))
+	d.colBits = log2(uint64(cfg.RowLines))
+	d.bankBits = log2(uint64(cfg.BanksPerRank))
+	d.rankBits = log2(uint64(cfg.RanksPerChannel))
+	r := int64(cfg.BusRatio)
+	d.tRCD, d.tRP, d.tCAS = int64(cfg.TRCD)*r, int64(cfg.TRP)*r, int64(cfg.TCAS)*r
+	d.tRAS, d.tBurst = int64(cfg.TRAS)*r, int64(cfg.TBurst)*r
+	return d, nil
+}
+
+// Config returns the configuration the model was built with.
+func (d *DRAM) Config() Config { return d.cfg }
+
+func log2(v uint64) uint {
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// decode splits a line address into channel, bank index (rank*banks+bank),
+// and row id. Channels interleave at 256-byte granularity — one 4-line
+// compression group per channel — rather than per line: TMC co-locates a
+// group at its base address (low two line-address bits zero), and per-line
+// interleaving would funnel every compressed-group access onto channel 0.
+func (d *DRAM) decode(a mem.LineAddr) (ch int, bankIdx int, row int64) {
+	v := uint64(a)
+	v >>= 2 // line within compression group: same channel, row, bank
+	ch = int(v & d.chanMask)
+	v >>= d.chanBits
+	v >>= d.colBits - 2 // remaining column bits within the row
+	bank := v & (1<<d.bankBits - 1)
+	v >>= d.bankBits
+	rank := v & (1<<d.rankBits - 1)
+	v >>= d.rankBits
+	return ch, int(rank<<d.bankBits | bank), int64(v)
+}
+
+// Enqueue admits a request, returning false if the target queue is full
+// (the caller must retry later). now is the current CPU cycle.
+func (d *DRAM) Enqueue(r *Request, now int64) bool {
+	ch, _, _ := d.decode(r.Addr)
+	c := d.chans[ch]
+	if r.Write {
+		if len(c.writeQ) >= d.cfg.WriteQCap {
+			d.Stats.RetriesFull++
+			return false
+		}
+		r.enq = now
+		c.writeQ = append(c.writeQ, r)
+		if len(c.writeQ) > d.Stats.MaxWriteQ {
+			d.Stats.MaxWriteQ = len(c.writeQ)
+		}
+		return true
+	}
+	if len(c.readQ) >= d.cfg.ReadQCap {
+		d.Stats.RetriesFull++
+		return false
+	}
+	r.enq = now
+	c.readQ = append(c.readQ, r)
+	if len(c.readQ) > d.Stats.MaxReadQ {
+		d.Stats.MaxReadQ = len(c.readQ)
+	}
+	return true
+}
+
+// QueueDepth returns total queued requests (reads+writes), for idle checks.
+func (d *DRAM) QueueDepth() int {
+	n := 0
+	for _, c := range d.chans {
+		n += len(c.readQ) + len(c.writeQ) + len(c.inflight)
+	}
+	return n
+}
+
+// Tick advances the model by one memory-bus cycle at CPU cycle now: fires
+// completions and issues at most one new request per channel.
+func (d *DRAM) Tick(now int64) {
+	for _, c := range d.chans {
+		// Completions.
+		if len(c.inflight) > 0 {
+			kept := c.inflight[:0]
+			for _, r := range c.inflight {
+				if r.completeAt <= now {
+					if r.OnComplete != nil {
+						r.OnComplete(now)
+					}
+				} else {
+					kept = append(kept, r)
+				}
+			}
+			c.inflight = kept
+		}
+
+		// Write-drain mode hysteresis.
+		if !c.draining && len(c.writeQ) >= d.cfg.WriteDrainHi {
+			c.draining = true
+			d.Stats.DrainEnters++
+		}
+		if c.draining && len(c.writeQ) <= d.cfg.WriteDrainLo {
+			c.draining = false
+		}
+
+		var q *[]*Request
+		isWrite := false
+		switch {
+		case c.draining:
+			q, isWrite = &c.writeQ, true
+		case len(c.readQ) > 0:
+			q = &c.readQ
+		case len(c.writeQ) > 0:
+			q, isWrite = &c.writeQ, true // opportunistic write when no reads
+		default:
+			d.Stats.IdleChannels++
+			continue
+		}
+		d.issueFRFCFS(c, q, isWrite, now)
+	}
+}
+
+// issueFRFCFS picks the oldest row-hit request whose bank is free; if none,
+// the oldest request with a free bank. At most one request issues per call.
+func (d *DRAM) issueFRFCFS(c *channel, q *[]*Request, isWrite bool, now int64) {
+	pick := -1
+	for i, r := range *q {
+		_, b, row := d.decode(r.Addr)
+		bk := &c.banks[b]
+		if bk.freeAt > now {
+			continue
+		}
+		if bk.openRow == row {
+			pick = i
+			break // oldest row hit wins
+		}
+		if pick < 0 {
+			pick = i // oldest issuable as fallback
+		}
+	}
+	if pick < 0 {
+		return
+	}
+	r := (*q)[pick]
+	*q = append((*q)[:pick], (*q)[pick+1:]...)
+	d.issue(c, r, isWrite, now)
+}
+
+// issue performs the lumped command sequence for one request and reserves
+// bank and bus time.
+func (d *DRAM) issue(c *channel, r *Request, isWrite bool, now int64) {
+	_, b, row := d.decode(r.Addr)
+	bk := &c.banks[b]
+	start := now
+	if bk.freeAt > start {
+		start = bk.freeAt
+	}
+	var lat int64
+	switch {
+	case bk.openRow == row:
+		lat = d.tCAS
+		d.Stats.RowHits++
+	case bk.openRow == -1:
+		lat = d.tRCD + d.tCAS
+		bk.actAt = start
+		d.Stats.Activates++
+	default:
+		// Precharge may not begin before tRAS after the last activate.
+		if earliest := bk.actAt + d.tRAS; earliest > start {
+			start = earliest
+		}
+		lat = d.tRP + d.tRCD + d.tCAS
+		bk.actAt = start + d.tRP
+		d.Stats.Activates++
+		d.Stats.Precharges++
+	}
+	dataStart := start + lat
+	if c.busFreeAt > dataStart {
+		dataStart = c.busFreeAt
+	}
+	// Burst occupancy scales with the beat count (DDR: 2 beats per bus
+	// cycle); a full 8-beat line occupies tBurst.
+	burst := d.tBurst
+	if r.Beats > 0 && r.Beats < 8 {
+		burst = d.tBurst * int64(r.Beats+1) / 8
+		if burst < int64(d.cfg.BusRatio) {
+			burst = int64(d.cfg.BusRatio) // at least one bus cycle
+		}
+	}
+	dataEnd := dataStart + burst
+	c.busFreeAt = dataEnd
+	// Column commands pipeline: the bank can accept its next column access
+	// one tCCD (= tBurst) after this one's column command, not after the
+	// data burst completes. This is what lets back-to-back row hits stream
+	// at full bus bandwidth.
+	bk.freeAt = dataStart - d.tCAS + d.tBurst
+	bk.openRow = row
+	d.Stats.BusBusy += uint64(burst)
+
+	if isWrite {
+		d.Stats.Writes++
+		if r.OnComplete != nil {
+			r.completeAt = dataEnd
+			c.inflight = append(c.inflight, r)
+		}
+		return
+	}
+	d.Stats.Reads++
+	d.Stats.ReadCount++
+	d.Stats.ReadLatency += uint64(dataEnd - r.enq)
+	r.completeAt = dataEnd
+	c.inflight = append(c.inflight, r)
+}
+
+// AvgReadLatency returns the mean CPU-cycle latency of completed reads.
+func (s Stats) AvgReadLatency() float64 {
+	if s.ReadCount == 0 {
+		return 0
+	}
+	return float64(s.ReadLatency) / float64(s.ReadCount)
+}
+
+// RowHitRate returns the fraction of column accesses hitting an open row.
+func (s Stats) RowHitRate() float64 {
+	total := s.Reads + s.Writes
+	if total == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(total)
+}

@@ -1,0 +1,301 @@
+package dram
+
+import (
+	"testing"
+
+	"ptmc/internal/mem"
+)
+
+// run ticks the model until all queues drain or maxCycles pass, returning
+// the final CPU cycle.
+func run(t *testing.T, d *DRAM, maxCycles int64) int64 {
+	t.Helper()
+	ratio := int64(d.Config().BusRatio)
+	var now int64
+	for now = 0; now < maxCycles; now += ratio {
+		d.Tick(now)
+		if d.QueueDepth() == 0 {
+			return now
+		}
+	}
+	t.Fatalf("dram did not drain within %d cycles", maxCycles)
+	return now
+}
+
+func newDRAM(t *testing.T, cfg Config) *DRAM {
+	t.Helper()
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestValidate(t *testing.T) {
+	bad := DDR4()
+	bad.Channels = 3
+	if _, err := New(bad); err == nil {
+		t.Error("3 channels should be rejected")
+	}
+	bad = DDR4()
+	bad.WriteDrainLo = bad.WriteDrainHi
+	if _, err := New(bad); err == nil {
+		t.Error("drain lo >= hi should be rejected")
+	}
+	bad = DDR4()
+	bad.BusRatio = 0
+	if _, err := New(bad); err == nil {
+		t.Error("zero BusRatio should be rejected")
+	}
+}
+
+func TestSingleReadLatency(t *testing.T) {
+	d := newDRAM(t, DDR4())
+	var done int64 = -1
+	r := &Request{Addr: 0, OnComplete: func(now int64) { done = now }}
+	if !d.Enqueue(r, 0) {
+		t.Fatal("enqueue failed")
+	}
+	run(t, d, 10_000)
+	// Idle read on a closed bank: tRCD + tCAS + tBurst = (11+11+4)*4 = 104.
+	want := int64((11 + 11 + 4) * 4)
+	if done != want {
+		t.Errorf("read completion at %d, want %d", done, want)
+	}
+	if d.Stats.Reads != 1 || d.Stats.Activates != 1 {
+		t.Errorf("stats = %+v", d.Stats)
+	}
+}
+
+func TestRowHitFasterThanConflict(t *testing.T) {
+	cfg := DDR4()
+	cfg.Channels = 1
+	rowLines := uint64(cfg.RowLines)
+
+	// Two reads to the same row: second is a row hit.
+	d := newDRAM(t, cfg)
+	var t1, t2 int64
+	d.Enqueue(&Request{Addr: 0, OnComplete: func(n int64) { t1 = n }}, 0)
+	d.Enqueue(&Request{Addr: 1, OnComplete: func(n int64) { t2 = n }}, 0)
+	run(t, d, 100_000)
+	hitGap := t2 - t1
+	if d.Stats.RowHits != 1 {
+		t.Fatalf("expected 1 row hit, got %d", d.Stats.RowHits)
+	}
+
+	// Two reads to different rows of the same bank: second is a conflict.
+	d = newDRAM(t, cfg)
+	var c1, c2 int64
+	d.Enqueue(&Request{Addr: 0, OnComplete: func(n int64) { c1 = n }}, 0)
+	conflictAddr := mem.LineAddr(rowLines * uint64(cfg.BanksPerRank) * uint64(cfg.RanksPerChannel) * 1)
+	// Same bank, different row: skip past bank/rank bits.
+	conflictAddr = mem.LineAddr(rowLines << (log2(uint64(cfg.BanksPerRank)) + log2(uint64(cfg.RanksPerChannel)) + log2(rowLines)))
+	_ = conflictAddr
+	// Construct directly: row bit = 1, same bank/rank/col.
+	rowBitShift := log2(uint64(cfg.RowLines)) + log2(uint64(cfg.BanksPerRank)) + log2(uint64(cfg.RanksPerChannel))
+	addr2 := mem.LineAddr(1 << rowBitShift)
+	d.Enqueue(&Request{Addr: addr2, OnComplete: func(n int64) { c2 = n }}, 0)
+	run(t, d, 100_000)
+	conflictGap := c2 - c1
+	if d.Stats.Precharges != 1 {
+		t.Fatalf("expected 1 precharge, got %d", d.Stats.Precharges)
+	}
+	if hitGap >= conflictGap {
+		t.Errorf("row hit gap %d should beat conflict gap %d", hitGap, conflictGap)
+	}
+}
+
+func TestBankParallelismBeatsSameBank(t *testing.T) {
+	cfg := DDR4()
+	cfg.Channels = 1
+	rowBitShift := log2(uint64(cfg.RowLines)) + log2(uint64(cfg.BanksPerRank)) + log2(uint64(cfg.RanksPerChannel))
+
+	// 8 conflicting requests to one bank.
+	d := newDRAM(t, cfg)
+	var lastSame int64
+	for i := 0; i < 8; i++ {
+		addr := mem.LineAddr(uint64(i) << rowBitShift)
+		d.Enqueue(&Request{Addr: addr, OnComplete: func(n int64) { lastSame = n }}, 0)
+	}
+	run(t, d, 1_000_000)
+
+	// 8 requests spread across banks.
+	d = newDRAM(t, cfg)
+	var lastSpread int64
+	bankShift := log2(uint64(cfg.RowLines))
+	for i := 0; i < 8; i++ {
+		addr := mem.LineAddr(uint64(i) << bankShift)
+		d.Enqueue(&Request{Addr: addr, OnComplete: func(n int64) { lastSpread = n }}, 0)
+	}
+	run(t, d, 1_000_000)
+
+	if lastSpread >= lastSame {
+		t.Errorf("bank-parallel finish %d should beat same-bank %d", lastSpread, lastSame)
+	}
+}
+
+func TestChannelParallelism(t *testing.T) {
+	// Same request stream on 1 vs 2 channels: 2 channels finish sooner.
+	finish := func(channels int) int64 {
+		cfg := DDR4()
+		cfg.Channels = channels
+		d := newDRAM(t, cfg)
+		var last int64
+		next, total := 0, 64
+		for now := int64(0); ; now += int64(cfg.BusRatio) {
+			for next < total &&
+				d.Enqueue(&Request{Addr: mem.LineAddr(next), OnComplete: func(n int64) { last = n }}, now) {
+				next++
+			}
+			d.Tick(now)
+			if next == total && d.QueueDepth() == 0 {
+				return last
+			}
+			if now > 10_000_000 {
+				t.Fatal("did not drain")
+			}
+		}
+	}
+	one, two := finish(1), finish(2)
+	if two >= one {
+		t.Errorf("2-channel finish %d should beat 1-channel %d", two, one)
+	}
+}
+
+func TestStreamBandwidthApproachesPeak(t *testing.T) {
+	// Sequential stream on one channel: row hits dominate and the bus
+	// should be busy most of the time once the pipeline fills.
+	cfg := DDR4()
+	cfg.Channels = 1
+	d := newDRAM(t, cfg)
+	var last int64
+	n := 0
+	next := 0
+	for now := int64(0); now < 4_000_000; now += int64(cfg.BusRatio) {
+		for d.QueueDepth() < cfg.ReadQCap && next < 2048 {
+			if !d.Enqueue(&Request{Addr: mem.LineAddr(next), OnComplete: func(c int64) { last = c; n++ }}, now) {
+				break
+			}
+			next++
+		}
+		d.Tick(now)
+		if n == 2048 {
+			break
+		}
+	}
+	if n != 2048 {
+		t.Fatalf("only %d/2048 reads completed", n)
+	}
+	// Peak: one 64B burst per tBurst*BusRatio = 16 CPU cycles.
+	ideal := int64(2048 * cfg.TBurst * cfg.BusRatio)
+	if last > ideal*13/10 {
+		t.Errorf("stream took %d cycles; want within 30%% of ideal %d", last, ideal)
+	}
+	if rate := d.Stats.RowHitRate(); rate < 0.9 {
+		t.Errorf("stream row-hit rate %.2f, want > 0.9", rate)
+	}
+}
+
+func TestWriteDrainHysteresis(t *testing.T) {
+	cfg := DDR4()
+	cfg.Channels = 1
+	d := newDRAM(t, cfg)
+	for i := 0; i < cfg.WriteDrainHi; i++ {
+		if !d.Enqueue(&Request{Addr: mem.LineAddr(i), Write: true}, 0) {
+			t.Fatal("write enqueue failed")
+		}
+	}
+	run(t, d, 1_000_000)
+	if d.Stats.DrainEnters != 1 {
+		t.Errorf("drain entries = %d, want 1", d.Stats.DrainEnters)
+	}
+	if d.Stats.Writes != uint64(cfg.WriteDrainHi) {
+		t.Errorf("writes = %d, want %d", d.Stats.Writes, cfg.WriteDrainHi)
+	}
+}
+
+func TestQueueCapBackpressure(t *testing.T) {
+	cfg := DDR4()
+	cfg.Channels = 1
+	d := newDRAM(t, cfg)
+	admitted := 0
+	for i := 0; i < cfg.ReadQCap+10; i++ {
+		if d.Enqueue(&Request{Addr: mem.LineAddr(i)}, 0) {
+			admitted++
+		}
+	}
+	if admitted != cfg.ReadQCap {
+		t.Errorf("admitted %d, want %d", admitted, cfg.ReadQCap)
+	}
+	if d.Stats.RetriesFull != 10 {
+		t.Errorf("rejections = %d, want 10", d.Stats.RetriesFull)
+	}
+}
+
+func TestReadsPrioritizedOverWrites(t *testing.T) {
+	cfg := DDR4()
+	cfg.Channels = 1
+	d := newDRAM(t, cfg)
+	// A few writes below the drain threshold, then a read.
+	for i := 0; i < 4; i++ {
+		d.Enqueue(&Request{Addr: mem.LineAddr(i + 100), Write: true}, 0)
+	}
+	var readDone int64 = -1
+	d.Enqueue(&Request{Addr: 0, OnComplete: func(n int64) { readDone = n }}, 0)
+	run(t, d, 1_000_000)
+	want := int64((11 + 11 + 4) * 4)
+	if readDone != want {
+		t.Errorf("read finished at %d, want %d (reads must bypass queued writes)", readDone, want)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	trace := func() (uint64, int64) {
+		cfg := DDR4()
+		d := newDRAM(t, cfg)
+		var last int64
+		for i := 0; i < 200; i++ {
+			addr := mem.LineAddr(i * 37 % 512)
+			d.Enqueue(&Request{Addr: addr, Write: i%3 == 0, OnComplete: func(n int64) { last = n }}, 0)
+			if i%5 == 0 {
+				d.Tick(int64(i) * 4)
+			}
+		}
+		for now := int64(800); d.QueueDepth() > 0; now += 4 {
+			d.Tick(now)
+		}
+		return d.Stats.Reads + d.Stats.Writes*1000 + d.Stats.Activates*1_000_000, last
+	}
+	s1, l1 := trace()
+	s2, l2 := trace()
+	if s1 != s2 || l1 != l2 {
+		t.Error("identical stimulus must produce identical timing")
+	}
+}
+
+func TestDecodeCoversAllBanks(t *testing.T) {
+	cfg := DDR4()
+	d := newDRAM(t, cfg)
+	seen := map[[2]int]bool{}
+	for i := 0; i < cfg.Channels*cfg.RanksPerChannel*cfg.BanksPerRank*cfg.RowLines; i++ {
+		ch, b, _ := d.decode(mem.LineAddr(i))
+		seen[[2]int{ch, b}] = true
+	}
+	want := cfg.Channels * cfg.RanksPerChannel * cfg.BanksPerRank
+	if len(seen) != want {
+		t.Errorf("decode reached %d (channel,bank) pairs, want %d", len(seen), want)
+	}
+}
+
+func TestAvgReadLatencyAccounting(t *testing.T) {
+	d := newDRAM(t, DDR4())
+	d.Enqueue(&Request{Addr: 0}, 0)
+	run(t, d, 10_000)
+	if got := d.Stats.AvgReadLatency(); got != 104 {
+		t.Errorf("avg read latency = %v, want 104", got)
+	}
+	var empty Stats
+	if empty.AvgReadLatency() != 0 || empty.RowHitRate() != 0 {
+		t.Error("zero-stat helpers should return 0")
+	}
+}

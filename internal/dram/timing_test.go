@@ -1,0 +1,172 @@
+package dram
+
+import (
+	"testing"
+
+	"ptmc/internal/mem"
+)
+
+// addrFor builds a line address with the given channel, bank, row and
+// column under the group-granular interleaving decode.
+func addrFor(cfg Config, ch, bank, row, col int) mem.LineAddr {
+	chanBits := log2(uint64(cfg.Channels))
+	colHighBits := log2(uint64(cfg.RowLines)) - 2
+	bankBits := log2(uint64(cfg.BanksPerRank))
+	rankBits := log2(uint64(cfg.RanksPerChannel))
+	v := uint64(row)
+	v = v << rankBits // rank 0
+	v = v<<bankBits | uint64(bank)
+	v = v << colHighBits // column-high 0
+	v = v<<chanBits | uint64(ch)
+	v = v<<2 | uint64(col&3)
+	return mem.LineAddr(v)
+}
+
+func TestGroupMembersShareChannelRowBank(t *testing.T) {
+	// TMC's whole premise: a 4-line group and its base must land on the
+	// same channel, bank, and row, so one burst can serve them all and
+	// base-located units do not skew channel load.
+	cfg := DDR4()
+	d := newDRAM(t, cfg)
+	for g := 0; g < 4096; g++ {
+		base := mem.LineAddr(g * 4)
+		c0, b0, r0 := d.decode(base)
+		for i := 1; i < 4; i++ {
+			c, b, r := d.decode(base + mem.LineAddr(i))
+			if c != c0 || b != b0 || r != r0 {
+				t.Fatalf("group %d member %d maps to (%d,%d,%d), base to (%d,%d,%d)",
+					g, i, c, b, r, c0, b0, r0)
+			}
+		}
+	}
+}
+
+func TestGroupBasesSpreadAcrossChannels(t *testing.T) {
+	// The regression this decode exists to prevent: group bases must not
+	// concentrate on one channel.
+	cfg := DDR4()
+	d := newDRAM(t, cfg)
+	counts := make([]int, cfg.Channels)
+	for g := 0; g < 4096; g++ {
+		ch, _, _ := d.decode(mem.LineAddr(g * 4))
+		counts[ch]++
+	}
+	for ch, n := range counts {
+		if n == 0 {
+			t.Fatalf("channel %d receives no group bases", ch)
+		}
+	}
+	if counts[0] == 4096 {
+		t.Fatal("all group bases on channel 0 (per-line interleave bug)")
+	}
+}
+
+func TestTRASEnforcedBeforePrecharge(t *testing.T) {
+	cfg := DDR4()
+	cfg.Channels = 1
+	d := newDRAM(t, cfg)
+	// Access row 0, then immediately row 1 of the same bank: the second
+	// access must wait for tRAS after the first activate.
+	a1 := addrFor(cfg, 0, 0, 0, 0)
+	a2 := addrFor(cfg, 0, 0, 1, 0)
+	var t1, t2 int64
+	d.Enqueue(&Request{Addr: a1, OnComplete: func(n int64) { t1 = n }}, 0)
+	d.Enqueue(&Request{Addr: a2, OnComplete: func(n int64) { t2 = n }}, 0)
+	run(t, d, 100_000)
+	ratio := int64(cfg.BusRatio)
+	// First activate at 0; precharge >= tRAS; then tRP+tRCD+tCAS+tBurst.
+	minT2 := int64(cfg.TRAS)*ratio + int64(cfg.TRP+cfg.TRCD+cfg.TCAS+cfg.TBurst)*ratio
+	if t2 < minT2 {
+		t.Errorf("row conflict finished at %d, violates tRAS floor %d", t2, minT2)
+	}
+	if t2 <= t1 {
+		t.Error("conflicting access cannot finish before the first")
+	}
+}
+
+func TestRowHitsPipelineAtBusRate(t *testing.T) {
+	// Back-to-back hits to one open row must stream at one burst per
+	// tBurst (the column-command pipelining fix).
+	cfg := DDR4()
+	cfg.Channels = 1
+	d := newDRAM(t, cfg)
+	var times []int64
+	for i := 0; i < 8; i++ {
+		d.Enqueue(&Request{Addr: mem.LineAddr(i), OnComplete: func(n int64) {
+			times = append(times, n)
+		}}, 0)
+	}
+	run(t, d, 100_000)
+	burst := int64(cfg.TBurst * cfg.BusRatio)
+	for i := 1; i < len(times); i++ {
+		if gap := times[i] - times[i-1]; gap != burst {
+			t.Errorf("burst %d gap = %d, want %d (pipelined row hits)", i, gap, burst)
+		}
+	}
+}
+
+func TestRanksProvideBankParallelism(t *testing.T) {
+	cfg := DDR4()
+	cfg.Channels = 1
+	finish := func(ranks int) int64 {
+		c := cfg
+		c.RanksPerChannel = ranks
+		d := newDRAM(t, c)
+		var last int64
+		// Conflicting rows on what is one bank with 1 rank, two with 2.
+		for i := 0; i < 8; i++ {
+			row := i
+			bankBits := log2(uint64(c.BanksPerRank))
+			rankBits := log2(uint64(c.RanksPerChannel))
+			v := uint64(row)<<rankBits | uint64(i%ranks)
+			v = v << bankBits
+			v = v << (log2(uint64(c.RowLines)) - 2)
+			v = v << log2(uint64(c.Channels))
+			v = v << 2
+			d.Enqueue(&Request{Addr: mem.LineAddr(v), OnComplete: func(n int64) { last = n }}, 0)
+		}
+		run(t, d, 1_000_000)
+		return last
+	}
+	if two, one := finish(2), finish(1); two >= one {
+		t.Errorf("2 ranks (%d) should beat 1 rank (%d) on conflicting rows", two, one)
+	}
+}
+
+func TestWriteDrainRecoversReadService(t *testing.T) {
+	cfg := DDR4()
+	cfg.Channels = 1
+	d := newDRAM(t, cfg)
+	// Saturate the write queue to trigger a drain, then issue a read.
+	for i := 0; i < cfg.WriteQCap; i++ {
+		d.Enqueue(&Request{Addr: mem.LineAddr(i * 512), Write: true}, 0)
+	}
+	var readDone int64 = -1
+	now := int64(0)
+	for ; readDone < 0 && now < 1_000_000; now += int64(cfg.BusRatio) {
+		d.Tick(now)
+		if d.Stats.DrainEnters > 0 && readDone == -1 && d.QueueDepth() < cfg.WriteDrainLo {
+			d.Enqueue(&Request{Addr: 0, OnComplete: func(n int64) { readDone = n }}, now)
+			readDone = -2 // issued
+		}
+		if readDone == -2 && d.QueueDepth() == 0 {
+			break
+		}
+	}
+	if d.Stats.DrainEnters == 0 {
+		t.Fatal("write drain never triggered")
+	}
+}
+
+func TestBusBusyAccounting(t *testing.T) {
+	cfg := DDR4()
+	d := newDRAM(t, cfg)
+	for i := 0; i < 16; i++ {
+		d.Enqueue(&Request{Addr: mem.LineAddr(i)}, 0)
+	}
+	run(t, d, 100_000)
+	want := uint64(16 * cfg.TBurst * cfg.BusRatio)
+	if d.Stats.BusBusy != want {
+		t.Errorf("bus busy = %d, want %d", d.Stats.BusBusy, want)
+	}
+}

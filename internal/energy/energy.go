@@ -1,0 +1,46 @@
+// Package energy provides the event-based power/energy model behind
+// Figure 18. Absolute joules are rough (public DDR4 datasheet ballparks);
+// the figure's claims are relative — energy tracks DRAM request counts,
+// power tracks energy over runtime, EDP multiplies in the speedup — and
+// those relations hold by construction.
+package energy
+
+import "ptmc/internal/dram"
+
+// Params are the per-event energies and static powers.
+type Params struct {
+	ActNJ        float64 // energy per row activation (incl. precharge)
+	BurstNJ      float64 // energy per 64-byte read/write burst (incl. IO)
+	BackgroundWC float64 // DRAM background watts per channel
+	CPUWatts     float64 // rest-of-system power (cores + caches)
+}
+
+// DefaultParams returns DDR4-class ballparks.
+func DefaultParams() Params {
+	return Params{ActNJ: 3.0, BurstNJ: 5.0, BackgroundWC: 0.75, CPUWatts: 40}
+}
+
+// Breakdown is the computed energy/power/EDP of one run.
+type Breakdown struct {
+	TimeS      float64
+	DRAMJoules float64
+	CPUJoules  float64
+	TotalJ     float64
+	AvgWatts   float64
+	EDP        float64 // energy × delay
+}
+
+// Compute evaluates the model for a run of `cycles` CPU cycles at freqGHz.
+func Compute(p Params, d dram.Stats, channels int, cycles int64, freqGHz float64) Breakdown {
+	t := float64(cycles) / (freqGHz * 1e9)
+	dramJ := float64(d.Activates)*p.ActNJ*1e-9 +
+		float64(d.Reads+d.Writes)*p.BurstNJ*1e-9 +
+		p.BackgroundWC*float64(channels)*t
+	cpuJ := p.CPUWatts * t
+	total := dramJ + cpuJ
+	b := Breakdown{TimeS: t, DRAMJoules: dramJ, CPUJoules: cpuJ, TotalJ: total, EDP: total * t}
+	if t > 0 {
+		b.AvgWatts = total / t
+	}
+	return b
+}

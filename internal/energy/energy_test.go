@@ -1,0 +1,59 @@
+package energy
+
+import (
+	"testing"
+
+	"ptmc/internal/dram"
+)
+
+func TestEnergyScalesWithTraffic(t *testing.T) {
+	p := DefaultParams()
+	light := dram.Stats{Reads: 1000, Writes: 500, Activates: 300}
+	heavy := dram.Stats{Reads: 10_000, Writes: 5_000, Activates: 3_000}
+	b1 := Compute(p, light, 2, 1_000_000, 3.2)
+	b2 := Compute(p, heavy, 2, 1_000_000, 3.2)
+	if b2.DRAMJoules <= b1.DRAMJoules {
+		t.Error("more traffic must cost more DRAM energy")
+	}
+	if b1.CPUJoules != b2.CPUJoules {
+		t.Error("CPU energy depends on time only")
+	}
+}
+
+func TestEDPMultipliesDelay(t *testing.T) {
+	p := DefaultParams()
+	st := dram.Stats{Reads: 1000, Writes: 1000, Activates: 500}
+	fast := Compute(p, st, 2, 1_000_000, 3.2)
+	slow := Compute(p, st, 2, 2_000_000, 3.2)
+	if slow.EDP <= fast.EDP {
+		t.Error("longer runtime must worsen EDP")
+	}
+	if slow.TimeS != 2*fast.TimeS {
+		t.Errorf("time = %v, want double %v", slow.TimeS, fast.TimeS)
+	}
+}
+
+func TestBreakdownConsistency(t *testing.T) {
+	p := DefaultParams()
+	b := Compute(p, dram.Stats{Reads: 100, Writes: 100, Activates: 50}, 2, 3_200_000, 3.2)
+	if b.TimeS != 0.001 {
+		t.Errorf("time = %v, want 1 ms", b.TimeS)
+	}
+	if b.TotalJ != b.DRAMJoules+b.CPUJoules {
+		t.Error("total != sum of parts")
+	}
+	if b.AvgWatts <= 0 {
+		t.Error("power must be positive")
+	}
+	var zero Breakdown
+	if zero.AvgWatts != 0 {
+		t.Error("zero breakdown should have zero power")
+	}
+}
+
+func TestZeroCyclesSafe(t *testing.T) {
+	b := Compute(DefaultParams(), dram.Stats{}, 2, 0, 3.2)
+	if b.AvgWatts != 0 || b.TotalJ != 0 {
+		t.Errorf("zero-cycle run should cost nothing: %+v", b)
+	}
+}

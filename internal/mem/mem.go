@@ -1,0 +1,104 @@
+// Package mem provides the sparse physical-memory backing stores of the
+// simulator. Two stores exist per system:
+//
+//   - the DRAM image: the bytes actually resident in memory, including
+//     compressed groups, inline markers, inverted lines, and Invalid-Line
+//     markers left behind by relocation;
+//   - the architectural store: the last value written to every line, i.e.
+//     the values a correct machine must observe.
+//
+// Keeping both lets the test suite assert, at any instant, that decoding
+// the DRAM image reproduces the architectural contents — the paper's
+// correctness argument for inline metadata, made executable.
+package mem
+
+// LineSize is the number of bytes per cache line / memory burst.
+const LineSize = 64
+
+// LineAddr is a physical line address: the physical byte address >> 6.
+type LineAddr uint64
+
+// linesPerPage is the number of 64-byte lines in a 4 KB allocation page of
+// the sparse store (an allocation unit, unrelated to the OS page size used
+// by internal/vm, which happens to match).
+const linesPerPage = 64
+
+// page holds the contents of 64 consecutive lines.
+type page [linesPerPage][LineSize]byte
+
+// Store is a sparse 64-byte-line-granular memory. Untouched lines read as
+// zero. The zero value is ready to use after NewStore; Store is not
+// goroutine-safe (the simulator is single-threaded by design — determinism
+// is a tested invariant).
+type Store struct {
+	pages map[uint64]*page
+}
+
+// NewStore returns an empty sparse store.
+func NewStore() *Store {
+	return &Store{pages: make(map[uint64]*page)}
+}
+
+var zeroLine [LineSize]byte
+
+// Read returns the contents of line a. The returned slice aliases internal
+// storage for touched lines and must not be modified; use Write to mutate.
+func (s *Store) Read(a LineAddr) []byte {
+	p, ok := s.pages[uint64(a)/linesPerPage]
+	if !ok {
+		return zeroLine[:]
+	}
+	return p[uint64(a)%linesPerPage][:]
+}
+
+// Write replaces the contents of line a with data (which must be 64 bytes).
+func (s *Store) Write(a LineAddr, data []byte) {
+	if len(data) != LineSize {
+		panic("mem: Write needs a 64-byte line")
+	}
+	pn := uint64(a) / linesPerPage
+	p, ok := s.pages[pn]
+	if !ok {
+		p = new(page)
+		s.pages[pn] = p
+	}
+	copy(p[uint64(a)%linesPerPage][:], data)
+}
+
+// WritePartial overwrites size bytes at byte offset off within line a.
+func (s *Store) WritePartial(a LineAddr, off int, data []byte) {
+	if off < 0 || off+len(data) > LineSize {
+		panic("mem: WritePartial out of range")
+	}
+	pn := uint64(a) / linesPerPage
+	p, ok := s.pages[pn]
+	if !ok {
+		p = new(page)
+		s.pages[pn] = p
+	}
+	copy(p[uint64(a)%linesPerPage][off:], data)
+}
+
+// Touched reports whether line a has ever been written.
+func (s *Store) Touched(a LineAddr) bool {
+	_, ok := s.pages[uint64(a)/linesPerPage]
+	return ok
+}
+
+// TouchedLines returns every line address in pages that have been written,
+// in unspecified order. Intended for whole-memory operations (LIT-overflow
+// re-encoding, image-soundness property checks).
+func (s *Store) TouchedLines() []LineAddr {
+	var out []LineAddr
+	for pn := range s.pages {
+		for i := uint64(0); i < linesPerPage; i++ {
+			out = append(out, LineAddr(pn*linesPerPage+i))
+		}
+	}
+	return out
+}
+
+// FootprintBytes returns the number of bytes of touched memory.
+func (s *Store) FootprintBytes() uint64 {
+	return uint64(len(s.pages)) * linesPerPage * LineSize
+}

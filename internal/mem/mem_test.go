@@ -1,0 +1,138 @@
+package mem
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUntouchedReadsZero(t *testing.T) {
+	s := NewStore()
+	got := s.Read(12345)
+	if !bytes.Equal(got, make([]byte, LineSize)) {
+		t.Error("untouched line should read as zeros")
+	}
+	if s.Touched(12345) {
+		t.Error("read must not mark a line touched")
+	}
+}
+
+func TestWriteRead(t *testing.T) {
+	s := NewStore()
+	line := make([]byte, LineSize)
+	for i := range line {
+		line[i] = byte(i)
+	}
+	s.Write(7, line)
+	if !bytes.Equal(s.Read(7), line) {
+		t.Error("read-after-write mismatch")
+	}
+	if !s.Touched(7) {
+		t.Error("written line should be touched")
+	}
+	// Neighboring line in the same page reads zero.
+	if !bytes.Equal(s.Read(8), make([]byte, LineSize)) {
+		t.Error("neighbor line should still be zero")
+	}
+}
+
+func TestWritePartial(t *testing.T) {
+	s := NewStore()
+	line := bytes.Repeat([]byte{0xAA}, LineSize)
+	s.Write(3, line)
+	s.WritePartial(3, 60, []byte{1, 2, 3, 4})
+	got := s.Read(3)
+	want := append(bytes.Repeat([]byte{0xAA}, 60), 1, 2, 3, 4)
+	if !bytes.Equal(got, want) {
+		t.Errorf("partial write: got %x", got[56:])
+	}
+}
+
+func TestWritePartialUntouched(t *testing.T) {
+	s := NewStore()
+	s.WritePartial(100, 0, []byte{9})
+	got := s.Read(100)
+	if got[0] != 9 || got[1] != 0 {
+		t.Error("partial write to untouched line should land on zeros")
+	}
+}
+
+func TestBadSizesPanic(t *testing.T) {
+	s := NewStore()
+	mustPanic(t, func() { s.Write(0, []byte{1}) })
+	mustPanic(t, func() { s.WritePartial(0, 62, []byte{1, 2, 3}) })
+	mustPanic(t, func() { s.WritePartial(0, -1, []byte{1}) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}
+
+// TestQuickLastWriteWins: the store behaves like a map from line address to
+// the last 64-byte value written.
+func TestQuickLastWriteWins(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewStore()
+		model := map[LineAddr][]byte{}
+		for i := 0; i < int(n); i++ {
+			a := LineAddr(rng.Intn(300))
+			line := make([]byte, LineSize)
+			rng.Read(line)
+			s.Write(a, line)
+			model[a] = line
+		}
+		for a, want := range model {
+			if !bytes.Equal(s.Read(a), want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTouchedLinesAndFootprint(t *testing.T) {
+	s := NewStore()
+	line := make([]byte, LineSize)
+	line[0] = 1
+	s.Write(0, line)    // page 0
+	s.Write(64, line)   // page 1
+	s.Write(4096, line) // page 64
+	if got := s.FootprintBytes(); got != 3*64*LineSize {
+		t.Errorf("footprint = %d, want %d", got, 3*64*LineSize)
+	}
+	lines := s.TouchedLines()
+	if len(lines) != 3*64 {
+		t.Errorf("touched lines = %d, want %d", len(lines), 3*64)
+	}
+	seen := map[LineAddr]bool{}
+	for _, a := range lines {
+		seen[a] = true
+	}
+	for _, a := range []LineAddr{0, 64, 4096} {
+		if !seen[a] {
+			t.Errorf("line %d missing from TouchedLines", a)
+		}
+	}
+}
+
+func TestReadAliasIsStable(t *testing.T) {
+	s := NewStore()
+	line := bytes.Repeat([]byte{0x55}, LineSize)
+	s.Write(9, line)
+	r1 := s.Read(9)
+	s.Write(10, line) // same page, different line
+	if !bytes.Equal(r1, line) {
+		t.Error("previously returned slice changed by unrelated write")
+	}
+}

@@ -1,0 +1,238 @@
+package memctrl
+
+import (
+	"ptmc/internal/cache"
+	"ptmc/internal/compress"
+	"ptmc/internal/core"
+	"ptmc/internal/mem"
+)
+
+// evictee is one line leaving the LLC (or a memory-resident "ghost" member
+// of a broken compressed unit that must be preserved across the rewrite).
+type evictee struct {
+	addr     mem.LineAddr
+	dirty    bool
+	oldLevel cache.Level
+	ghost    bool
+}
+
+// storeUnit is one 64-byte location to (re)write: a 4:1 quad, a 2:1 pair,
+// or an uncompressed single.
+type storeUnit struct {
+	home     mem.LineAddr
+	level    cache.Level
+	members  []evictee
+	blob     []byte // compressed payload (nil for singles)
+	anyDirty bool
+	// unchanged: same layout as before eviction and no dirty member —
+	// the memory image is already correct and no write is needed.
+	unchanged bool
+}
+
+// planEviction implements the paper's writeback path (§IV-C "Handling
+// Updates", "Ganged Eviction" and footnote 3): gang-evict the evictee's old
+// compressed unit, opportunistically pull LLC-resident neighbors to form
+// the largest unit that compresses within budget (when compressing is
+// true), and emit the storage units to write. Returned evictees include
+// every line whose memory state this eviction touches.
+func (b *base) planEviction(e cache.Entry, compressing bool, budget int) ([]storeUnit, []evictee) {
+	x := evictee{addr: e.Tag, dirty: e.Dirty, oldLevel: e.Level}
+
+	// Gang eviction: the old unit leaves the LLC together.
+	set := map[mem.LineAddr]evictee{x.addr: x}
+	oldHome := core.HomeFor(x.addr, x.oldLevel)
+	for _, m := range core.MembersAt(oldHome, x.oldLevel) {
+		if m == x.addr {
+			continue
+		}
+		if old, ok := b.llc.Drop(m); ok {
+			set[m] = evictee{addr: m, dirty: old.Dirty, oldLevel: old.Level}
+		} else {
+			// Memory-resident member of the broken unit: preserved via
+			// its architectural value (clean by definition).
+			set[m] = evictee{addr: m, oldLevel: x.oldLevel, ghost: true}
+		}
+	}
+
+	group := core.MembersAt(core.GroupBase(x.addr), cache.Comp4)
+
+	// Compression disabled (Dynamic-PTMC): stop *actively compressing*,
+	// do not actively decompress (§V-A: "simply deciding to stop actively
+	// compressing lines"). A clean eviction of an intact compressed unit
+	// leaves the memory image exactly as it is (zero writes); a dirty
+	// eviction re-seals the existing unit in place when the new data still
+	// fits (one write, no tombstones) and only breaks it into singles when
+	// it no longer does.
+	if !compressing && x.oldLevel != cache.Uncompressed {
+		anyDirty := false
+		for _, ev := range set {
+			anyDirty = anyDirty || ev.dirty
+		}
+		u := storeUnit{home: oldHome, level: x.oldLevel, anyDirty: anyDirty, unchanged: !anyDirty}
+		members := core.MembersAt(oldHome, x.oldLevel)
+		lines := make([][]byte, 0, len(members))
+		for _, m := range members {
+			u.members = append(u.members, set[m])
+			lines = append(lines, b.archLine(m))
+		}
+		fits := true
+		if anyDirty {
+			u.blob, fits = compress.CompressGroup(b.alg, lines, budget)
+		}
+		if fits {
+			evictees := make([]evictee, 0, len(set))
+			for _, m := range group {
+				if ev, ok := set[m]; ok {
+					evictees = append(evictees, ev)
+				}
+			}
+			return []storeUnit{u}, evictees
+		}
+		// No longer fits: fall through to the singles breakup below.
+	}
+
+	// available reports whether line m can join a new unit without a
+	// read-modify-write: it is in our eviction set or resident in the LLC.
+	available := func(m mem.LineAddr) (evictee, bool) {
+		if ev, ok := set[m]; ok {
+			return ev, true
+		}
+		if compressing {
+			if old, ok := b.llc.Probe(m); ok && old.Valid {
+				return evictee{addr: m, dirty: old.Dirty, oldLevel: old.Level}, true
+			}
+		}
+		return evictee{}, false
+	}
+
+	// pull moves an LLC-resident neighbor into the eviction set (it joins
+	// a new compressed unit, so it must leave the LLC — ganged eviction).
+	pull := func(ev evictee) evictee {
+		if _, ok := set[ev.addr]; ok {
+			return set[ev.addr]
+		}
+		if old, ok := b.llc.Drop(ev.addr); ok {
+			ev.dirty, ev.oldLevel = old.Dirty, old.Level
+		}
+		set[ev.addr] = ev
+		return ev
+	}
+
+	assigned := map[mem.LineAddr]bool{}
+	var units []storeUnit
+
+	// Try 4:1 across the whole group.
+	if compressing {
+		evs := make([]evictee, 0, 4)
+		lines := make([][]byte, 0, 4)
+		ok := true
+		for _, m := range group {
+			ev, avail := available(m)
+			if !avail {
+				ok = false
+				break
+			}
+			evs = append(evs, ev)
+			lines = append(lines, b.archLine(m))
+		}
+		if ok {
+			if blob, fits := compress.CompressGroup(b.alg, lines, budget); fits {
+				u := storeUnit{home: group[0], level: cache.Comp4, blob: blob}
+				for i := range evs {
+					evs[i] = pull(evs[i])
+					u.members = append(u.members, evs[i])
+					u.anyDirty = u.anyDirty || evs[i].dirty
+					assigned[evs[i].addr] = true
+				}
+				units = append(units, u)
+			}
+		}
+	}
+
+	// Try 2:1 per pair for anything still unassigned in our set.
+	for _, pb := range []mem.LineAddr{group[0], group[2]} {
+		p0, p1 := pb, pb+1
+		if assigned[p0] && assigned[p1] {
+			continue
+		}
+		_, in0 := set[p0]
+		_, in1 := set[p1]
+		if !in0 && !in1 {
+			continue // pair untouched by this eviction
+		}
+		if compressing {
+			ev0, a0 := available(p0)
+			ev1, a1 := available(p1)
+			if a0 && a1 {
+				blob, fits := compress.CompressGroup(b.alg,
+					[][]byte{b.archLine(p0), b.archLine(p1)}, budget)
+				if fits {
+					ev0, ev1 = pull(ev0), pull(ev1)
+					units = append(units, storeUnit{
+						home: pb, level: cache.Comp2, blob: blob,
+						members:  []evictee{ev0, ev1},
+						anyDirty: ev0.dirty || ev1.dirty,
+					})
+					assigned[p0], assigned[p1] = true, true
+					continue
+				}
+			}
+		}
+	}
+
+	// Singles for everything left in the set.
+	for _, m := range group {
+		ev, in := set[m]
+		if !in || assigned[m] {
+			continue
+		}
+		units = append(units, storeUnit{
+			home: m, level: cache.Uncompressed,
+			members:  []evictee{ev},
+			anyDirty: ev.dirty,
+		})
+		assigned[m] = true
+	}
+
+	// Mark units whose memory image is already correct.
+	for i := range units {
+		u := &units[i]
+		if u.anyDirty {
+			continue
+		}
+		same := true
+		for _, m := range u.members {
+			if m.oldLevel != u.level {
+				same = false
+				break
+			}
+		}
+		u.unchanged = same
+	}
+
+	evictees := make([]evictee, 0, len(set))
+	for _, m := range group {
+		if ev, ok := set[m]; ok {
+			evictees = append(evictees, ev)
+		}
+	}
+	return units, evictees
+}
+
+// staleLocations returns the member locations that held valid data before
+// this eviction but are not a home afterwards — the locations PTMC must
+// tombstone with Marker-IL (§IV-C "Efficiently Invalidating Stale Copies").
+func staleLocations(units []storeUnit, evictees []evictee) []mem.LineAddr {
+	newHome := map[mem.LineAddr]bool{}
+	for _, u := range units {
+		newHome[u.home] = true
+	}
+	var out []mem.LineAddr
+	for _, ev := range evictees {
+		ownWasValid := core.HomeFor(ev.addr, ev.oldLevel) == ev.addr
+		if ownWasValid && !newHome[ev.addr] {
+			out = append(out, ev.addr)
+		}
+	}
+	return out
+}

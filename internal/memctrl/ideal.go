@@ -1,0 +1,17 @@
+package memctrl
+
+import (
+	"ptmc/internal/dram"
+	"ptmc/internal/mem"
+)
+
+// NewIdealTMC builds the paper's idealized compressed memory (Figures 5
+// and 15): the PTMC datapath with an oracle for line location (no LLP, no
+// mispredict re-reads, no metadata accesses) and free maintenance (clean
+// compressed writebacks and Marker-IL invalidates update the memory image
+// without consuming DRAM bandwidth). It is the upper bound a real TMC
+// design approaches: all of compression's bandwidth benefit, none of its
+// overheads.
+func NewIdealTMC(d *dram.DRAM, img, arch *mem.Store, llc LLC) *PTMC {
+	return NewPTMC(d, img, arch, llc, 0, withOracle())
+}

@@ -1,0 +1,273 @@
+// Package memctrl implements the memory-controller schemes the paper
+// evaluates, from the uncompressed baseline to Dynamic-PTMC:
+//
+//	Uncompressed      — baseline everything is normalized to
+//	NextLinePrefetch  — Table VI's comparison point
+//	IdealTMC          — PTMC with oracle location and free maintenance
+//	TableTMC          — TMC with a memory-resident metadata table + cache
+//	MemZip            — variable-burst TMC on non-commodity DIMMs (§VII)
+//	PTMC              — inline markers + LLP (static, always compress)
+//	DynamicPTMC       — PTMC + set-sampled cost/benefit gating
+//
+// Every scheme moves real bytes: the DRAM image (compressed blobs, markers,
+// inverted lines, Marker-IL tombstones) is materialized in a sparse store
+// and decoded on every fill, so correctness is checked, not assumed.
+package memctrl
+
+import (
+	"fmt"
+
+	"ptmc/internal/cache"
+	"ptmc/internal/compress"
+	"ptmc/internal/dram"
+	"ptmc/internal/mem"
+)
+
+// DecompressCycles is the default decompression latency added to fills of
+// compressed data (Table I methodology: 5 cycles). Override per controller
+// with SetDecompressCycles for sensitivity studies.
+const DecompressCycles = 5
+
+// Done is a completion callback carrying the CPU cycle of completion.
+type Done func(now int64)
+
+// LLC is the controller's view of the shared L3: the controller installs
+// fills (and free prefetches) and is called back on evictions.
+type LLC interface {
+	// Probe checks residency without touching LRU.
+	Probe(a mem.LineAddr) (*cache.Entry, bool)
+	// InstallFill inserts a filled line; the LLC owner routes any victim
+	// back into Controller.Evict.
+	InstallFill(core int, a mem.LineAddr, e cache.Entry, now int64)
+	// Drop removes a line without writeback processing (ganged eviction:
+	// the controller handles the data itself).
+	Drop(a mem.LineAddr) (cache.Entry, bool)
+	// SetIndex exposes set mapping for Dynamic-PTMC sampling.
+	SetIndex(a mem.LineAddr) int
+	// NumSets sizes the sampling machinery.
+	NumSets() int
+}
+
+// Stats is the per-scheme bandwidth/event accounting. DRAM burst counts by
+// category feed Figures 4 and 14 directly.
+type Stats struct {
+	// Reads (DRAM bursts).
+	DemandReads     uint64 // data reads for demand fills
+	MispredictReads uint64 // LLP wrong-location re-reads (PTMC cost)
+	MetadataReads   uint64 // metadata-table fetches (TableTMC cost)
+	PrefetchReads   uint64 // next-line prefetcher traffic
+
+	// Writes (DRAM bursts).
+	DirtyWrites    uint64 // writebacks that an uncompressed design also pays
+	CleanCompIntoW uint64 // compressed writebacks of clean data (TMC cost)
+	Invalidates    uint64 // Marker-IL tombstone writes (PTMC cost)
+	MetadataWrites uint64 // dirty metadata evictions (TableTMC cost)
+
+	// Compression outcomes.
+	Groups4        uint64 // 4:1 units written
+	Groups2        uint64 // 2:1 units written
+	SinglesWrit    uint64 // uncompressed lines written
+	FreeInstalls   uint64 // neighbor lines installed without a DRAM access
+	UsefulFreePf   uint64 // free installs that saw a demand hit
+	Inversions     uint64 // marker collisions handled by inversion
+	ReKeys         uint64 // LIT-overflow re-key events
+	CoalescedReads uint64 // reads served by an already-in-flight burst
+	IntegrityErrs  uint64 // decoded value != architectural value (must stay 0)
+
+	// Fills by source.
+	FillsCompressed   uint64
+	FillsUncompressed uint64
+}
+
+// TotalReads returns all DRAM read bursts the scheme generated.
+func (s *Stats) TotalReads() uint64 {
+	return s.DemandReads + s.MispredictReads + s.MetadataReads + s.PrefetchReads
+}
+
+// TotalWrites returns all DRAM write bursts the scheme generated.
+func (s *Stats) TotalWrites() uint64 {
+	return s.DirtyWrites + s.CleanCompIntoW + s.Invalidates + s.MetadataWrites
+}
+
+// Total returns all DRAM bursts.
+func (s *Stats) Total() uint64 { return s.TotalReads() + s.TotalWrites() }
+
+// Controller is a memory-controller scheme.
+type Controller interface {
+	// Name identifies the scheme ("ptmc", "uncompressed", ...).
+	Name() string
+	// Read fetches line a for core; the controller installs the fill (and
+	// any freely obtained neighbors) into the LLC and then calls done.
+	Read(core int, a mem.LineAddr, now int64, done Done)
+	// Evict handles an LLC eviction (dirty or clean) of entry e.
+	Evict(core int, e cache.Entry, now int64)
+	// InitLine establishes a line's initial uncompressed memory image
+	// (first touch, before the measured window).
+	InitLine(a mem.LineAddr)
+	// Tick advances the controller and its DRAM by one bus cycle.
+	Tick(now int64)
+	// Pending reports outstanding work (drain loops).
+	Pending() int
+	// Stats exposes scheme accounting.
+	Stats() *Stats
+	// DRAM exposes the timing model (energy accounting, bus stats).
+	DRAM() *dram.DRAM
+}
+
+// kind tags a DRAM request for stats accounting.
+type kind int
+
+const (
+	kDemandRead kind = iota
+	kMispredictRead
+	kMetadataRead
+	kPrefetchRead
+	kDirtyWrite
+	kCleanCompWrite
+	kInvalidateWrite
+	kMetadataWrite
+)
+
+// base carries the plumbing every scheme shares: the DRAM model with a
+// retry queue for backpressure, the DRAM image and architectural stores,
+// the LLC hook, the compressor, and stats.
+type base struct {
+	name string
+	d    *dram.DRAM
+	img  *mem.Store // what DRAM actually holds
+	arch *mem.Store // last value written per line (ground truth)
+	llc  LLC
+	alg  compress.Algorithm
+	st   Stats
+
+	retry       []*dram.Request
+	outstanding int // issued-but-not-completed reads + queued work
+
+	decompLat int64 // decompression latency in CPU cycles
+
+	// inflightReads coalesces concurrent reads of the same DRAM location:
+	// one burst serves every waiter. This is what turns a compressed
+	// group into real bandwidth savings even when all of its members miss
+	// within one ROB window — their fills share a single access to the
+	// group's home.
+	inflightReads map[mem.LineAddr][]Done
+}
+
+func newBase(name string, d *dram.DRAM, img, arch *mem.Store, llc LLC) base {
+	return base{
+		name: name, d: d, img: img, arch: arch, llc: llc,
+		alg:           compress.Hybrid{},
+		decompLat:     DecompressCycles,
+		inflightReads: make(map[mem.LineAddr][]Done),
+	}
+}
+
+func (b *base) Name() string { return b.name }
+
+// SetDecompressCycles overrides the decompression latency (ablations).
+func (b *base) SetDecompressCycles(n int64) { b.decompLat = n }
+func (b *base) Stats() *Stats               { return &b.st }
+func (b *base) DRAM() *dram.DRAM            { return b.d }
+func (b *base) Pending() int                { return b.outstanding + len(b.retry) + b.d.QueueDepth() }
+func (b *base) account(k kind)              { b.accountN(k, 1) }
+func (b *base) accountN(k kind, n uint64) {
+	switch k {
+	case kDemandRead:
+		b.st.DemandReads += n
+	case kMispredictRead:
+		b.st.MispredictReads += n
+	case kMetadataRead:
+		b.st.MetadataReads += n
+	case kPrefetchRead:
+		b.st.PrefetchReads += n
+	case kDirtyWrite:
+		b.st.DirtyWrites += n
+	case kCleanCompWrite:
+		b.st.CleanCompIntoW += n
+	case kInvalidateWrite:
+		b.st.Invalidates += n
+	case kMetadataWrite:
+		b.st.MetadataWrites += n
+	}
+}
+
+// issue sends one DRAM request, retrying through the backpressure queue.
+// done (reads only) fires at burst completion. Reads to a location that
+// already has a burst in flight coalesce onto it for free; issue reports
+// that, because a coalesced *demand* read is exactly the bandwidth benefit
+// of co-located compression (the Dynamic-PTMC "+1" event).
+func (b *base) issue(a mem.LineAddr, write bool, k kind, now int64, done Done) (coalesced bool) {
+	if !write {
+		if waiters, in := b.inflightReads[a]; in {
+			b.st.CoalescedReads++
+			b.outstanding++
+			b.inflightReads[a] = append(waiters, done)
+			return true
+		}
+		b.inflightReads[a] = nil
+	}
+	b.account(k)
+	req := &dram.Request{Addr: a, Write: write}
+	if done != nil || !write {
+		b.outstanding++
+		req.OnComplete = func(c int64) {
+			b.outstanding--
+			if done != nil {
+				done(c)
+			}
+			if !write {
+				waiters := b.inflightReads[a]
+				delete(b.inflightReads, a)
+				for _, w := range waiters {
+					b.outstanding--
+					if w != nil {
+						w(c)
+					}
+				}
+			}
+		}
+	}
+	if !b.d.Enqueue(req, now) {
+		b.retry = append(b.retry, req)
+	}
+	return false
+}
+
+// Tick drains the retry queue and advances DRAM.
+func (b *base) Tick(now int64) {
+	for len(b.retry) > 0 {
+		if !b.d.Enqueue(b.retry[0], now) {
+			break
+		}
+		b.retry = b.retry[1:]
+	}
+	b.d.Tick(now)
+}
+
+// archLine returns the architectural (ground-truth) value of a line.
+func (b *base) archLine(a mem.LineAddr) []byte { return b.arch.Read(a) }
+
+// checkIntegrity compares a decoded fill against the architectural value;
+// mismatches indicate a broken memory image and are counted (tests assert
+// zero).
+func (b *base) checkIntegrity(a mem.LineAddr, got []byte) {
+	want := b.arch.Read(a)
+	for i := range got {
+		if got[i] != want[i] {
+			b.st.IntegrityErrs++
+			return
+		}
+	}
+}
+
+// install puts a fill into the LLC.
+func (b *base) install(core int, a mem.LineAddr, dirty, prefetch bool, level cache.Level, now int64) {
+	b.llc.InstallFill(core, a, cache.Entry{
+		Dirty:    dirty,
+		Prefetch: prefetch,
+		Level:    level,
+		Core:     uint8(core),
+	}, now)
+}
+
+var _ = fmt.Sprintf // keep fmt for debug builds

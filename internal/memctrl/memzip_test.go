@@ -1,0 +1,75 @@
+package memctrl
+
+import (
+	"testing"
+
+	"ptmc/internal/dram"
+	"ptmc/internal/mem"
+)
+
+func newMemZipRig(t *testing.T) *rig {
+	return newRig(t, 64*64, func(d *dram.DRAM, img, arch *mem.Store, llc LLC) Controller {
+		z, err := NewMemZip(d, img, arch, llc, 1<<30, 32<<10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return z
+	})
+}
+
+func TestMemZipRoundTrip(t *testing.T) {
+	r := newMemZipRig(t)
+	val := compressibleLine(3)
+	r.write(0, 100, val)
+	r.evict(100)
+	wantLine(t, r.read(0, 100), val, "memzip readback")
+	if r.ctrl.Stats().IntegrityErrs != 0 {
+		t.Error("integrity errors")
+	}
+}
+
+func TestMemZipReducedBurstSavesBusTime(t *testing.T) {
+	// A compressible line must occupy the bus for less time than an
+	// incompressible one.
+	busyFor := func(val []byte) uint64 {
+		r := newMemZipRig(t)
+		r.write(0, 100, val)
+		r.evict(100)
+		before := r.d.Stats.BusBusy
+		r.read(0, 100)
+		return r.d.Stats.BusBusy - before
+	}
+	comp := busyFor(compressibleLine(1))
+	incomp := busyFor(incompressibleLine(1))
+	if comp >= incomp {
+		t.Errorf("compressible burst (%d) should be shorter than incompressible (%d)", comp, incomp)
+	}
+}
+
+func TestMemZipPaysMetadata(t *testing.T) {
+	r := newMemZipRig(t)
+	r.read(0, 4096) // cold: metadata read precedes data
+	if r.ctrl.Stats().MetadataReads != 1 {
+		t.Errorf("metadata reads = %d, want 1", r.ctrl.Stats().MetadataReads)
+	}
+	r.read(0, 4097)
+	r.evict(4097)
+	r.read(0, 4097) // same metadata line: cached
+	if r.ctrl.Stats().MetadataReads != 1 {
+		t.Errorf("warm metadata reads = %d, want 1", r.ctrl.Stats().MetadataReads)
+	}
+}
+
+func TestMemZipNoColocationEffects(t *testing.T) {
+	r := newMemZipRig(t)
+	r.write(0, 200, compressibleLine(1))
+	r.write(0, 201, compressibleLine(2))
+	r.evict(200)
+	st := r.ctrl.Stats()
+	if st.Groups2 != 0 || st.Groups4 != 0 || st.Invalidates != 0 || st.FreeInstalls != 0 {
+		t.Errorf("memzip must not co-locate: %+v", st)
+	}
+	if _, in := r.llc.Probe(201); !in {
+		t.Error("no ganged eviction in memzip")
+	}
+}

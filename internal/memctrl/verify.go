@@ -1,0 +1,99 @@
+package memctrl
+
+import (
+	"bytes"
+	"fmt"
+
+	"ptmc/internal/cache"
+	"ptmc/internal/compress"
+	"ptmc/internal/core"
+	"ptmc/internal/mem"
+)
+
+// VerifyImage scans every touched line of the DRAM image and checks the
+// paper's soundness invariant end to end: classifying a location by its
+// inline markers (plus the LIT) yields an interpretation under which every
+// line whose authoritative copy is in memory decodes to its architectural
+// value, and no location is interpretable two ways.
+//
+// inLLC reports lines whose authoritative copy is (possibly dirty) in the
+// cache hierarchy — memory is allowed to be stale for exactly those.
+// VerifyImage returns the number of lines whose authoritative copy was
+// verified in memory, or an error naming the first violation.
+func (p *PTMC) VerifyImage(inLLC func(a mem.LineAddr) bool) (int, error) {
+	covered := map[mem.LineAddr]mem.LineAddr{} // line -> home that serves it
+	verified := 0
+
+	for _, loc := range p.img.TouchedLines() {
+		data := p.img.Read(loc)
+		class := p.markers.Classify(loc, data)
+		switch class {
+		case core.ClassComp2, core.ClassComp4:
+			level := cache.Comp2
+			if class == core.ClassComp4 {
+				level = cache.Comp4
+			}
+			if core.HomeFor(loc, level) != loc {
+				return verified, fmt.Errorf("line %d: %v unit not at its home", loc, level)
+			}
+			members := core.MembersAt(loc, level)
+			lines, err := compress.DecompressGroup(p.alg, data[:core.CompressedBudget], len(members))
+			if err != nil {
+				return verified, fmt.Errorf("line %d: undecodable %v unit: %w", loc, level, err)
+			}
+			for i, m := range members {
+				if prev, dup := covered[m]; dup {
+					return verified, fmt.Errorf("line %d served by both %d and %d", m, prev, loc)
+				}
+				covered[m] = loc
+				if inLLC != nil && inLLC(m) {
+					continue // LLC copy is authoritative; memory may be stale
+				}
+				if !bytes.Equal(lines[i], p.arch.Read(m)) {
+					return verified, fmt.Errorf("line %d: decoded value differs from architectural", m)
+				}
+				verified++
+			}
+		case core.ClassInvalid:
+			// Tombstone: must not be anyone's authoritative home.
+		case core.ClassInvComp2, core.ClassInvComp4, core.ClassInvIL:
+			inverted, _ := p.lit.Contains(loc)
+			val := data
+			if inverted {
+				val = core.Invert(data)
+			}
+			if prev, dup := covered[loc]; dup {
+				return verified, fmt.Errorf("line %d served by both %d and itself", loc, prev)
+			}
+			covered[loc] = loc
+			if inLLC != nil && inLLC(loc) {
+				continue
+			}
+			if !bytes.Equal(val, p.arch.Read(loc)) {
+				return verified, fmt.Errorf("line %d: (inverted=%v) value differs from architectural", loc, inverted)
+			}
+			verified++
+		default: // uncompressed
+			if prev, dup := covered[loc]; dup {
+				return verified, fmt.Errorf("line %d served by both %d and itself", loc, prev)
+			}
+			covered[loc] = loc
+			if inLLC != nil && inLLC(loc) {
+				continue
+			}
+			if !bytes.Equal(data, p.arch.Read(loc)) {
+				return verified, fmt.Errorf("line %d: uncompressed value differs from architectural", loc)
+			}
+			verified++
+		}
+	}
+
+	// Every LIT entry must point at a location that is actually stored
+	// inverted (classifies as a complement pattern).
+	for _, a := range p.lit.Addresses() {
+		if !p.markers.Classify(a, p.img.Read(a)).NeedsLIT() {
+			return verified, fmt.Errorf("LIT tracks line %d whose image is not inverted", a)
+		}
+	}
+	return verified, nil
+}

@@ -1,0 +1,108 @@
+package metadata
+
+import (
+	"testing"
+
+	"ptmc/internal/cache"
+	"ptmc/internal/mem"
+)
+
+const base = mem.LineAddr(1 << 30)
+
+func newTable(t *testing.T) *Table {
+	t.Helper()
+	tbl, err := New(base, 32<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestMetaLinePacking(t *testing.T) {
+	tbl := newTable(t)
+	if tbl.MetaLineOf(0) != base || tbl.MetaLineOf(255) != base {
+		t.Error("first 256 lines share metadata line 0")
+	}
+	if tbl.MetaLineOf(256) != base+1 {
+		t.Error("line 256 starts metadata line 1")
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	tbl := newTable(t)
+	level, tr := tbl.Lookup(100)
+	if level != cache.Uncompressed {
+		t.Error("cold CSI should read uncompressed")
+	}
+	if !tr.NeedRead || tr.ReadAddr != tbl.MetaLineOf(100) {
+		t.Error("cold lookup must cost a DRAM metadata read")
+	}
+	// Adjacent line: same metadata line, now cached.
+	_, tr = tbl.Lookup(101)
+	if tr.NeedRead {
+		t.Error("second lookup should hit the metadata cache")
+	}
+	if tbl.HitRate() != 0.5 {
+		t.Errorf("hit rate = %v, want 0.5", tbl.HitRate())
+	}
+}
+
+func TestUpdateRoundTrip(t *testing.T) {
+	tbl := newTable(t)
+	tbl.Update(40, cache.Comp4)
+	level, _ := tbl.Lookup(40)
+	if level != cache.Comp4 {
+		t.Errorf("level = %v, want 4:1", level)
+	}
+	tbl.Update(40, cache.Uncompressed)
+	if tbl.Peek(40) != cache.Uncompressed {
+		t.Error("reset to uncompressed failed")
+	}
+}
+
+func TestDirtyMetadataWriteback(t *testing.T) {
+	tbl := newTable(t)
+	// 32 KB / 64 B = 512 entries, 8-way, 64 sets. Updating lines that map
+	// to the same metadata set eventually evicts dirty metadata.
+	// Metadata lines are base+k for data lines 256k; same mcache set
+	// every 64 metadata lines => stride 64*256 data lines.
+	sawWB := false
+	for k := 0; k < 10; k++ {
+		tr := tbl.Update(mem.LineAddr(k*64*256), cache.Comp2)
+		if tr.NeedWrite {
+			sawWB = true
+			if tr.WriteAddr < base {
+				t.Error("metadata writeback outside reserved region")
+			}
+		}
+	}
+	if !sawWB {
+		t.Error("expected a dirty metadata eviction after overfilling one set")
+	}
+	if tbl.Writes == 0 {
+		t.Error("metadata writes should be counted")
+	}
+}
+
+func TestCleanEvictionsCostNoWrite(t *testing.T) {
+	tbl := newTable(t)
+	for k := 0; k < 20; k++ {
+		_, tr := tbl.Lookup(mem.LineAddr(k * 64 * 256))
+		if tr.NeedWrite {
+			t.Error("clean metadata evictions must not write DRAM")
+		}
+	}
+}
+
+func TestBadCacheSize(t *testing.T) {
+	if _, err := New(base, 100); err == nil {
+		t.Error("non-power-of-two metadata cache should be rejected")
+	}
+}
+
+func TestEmptyHitRate(t *testing.T) {
+	tbl := newTable(t)
+	if tbl.HitRate() != 0 {
+		t.Error("empty table hit rate should be 0")
+	}
+}

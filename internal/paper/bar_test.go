@@ -1,0 +1,25 @@
+package paper
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarRendering(t *testing.T) {
+	if got := bar(1.0); got != "|" {
+		t.Errorf("bar(1.0) = %q", got)
+	}
+	if got := bar(1.10); !strings.HasPrefix(got, "|") || strings.Count(got, "#") != 4 {
+		t.Errorf("bar(1.10) = %q, want 4 cells right of baseline", got)
+	}
+	if got := bar(0.95); !strings.HasSuffix(got, "|") || strings.Count(got, "-") != 2 {
+		t.Errorf("bar(0.95) = %q, want 2 cells left of baseline", got)
+	}
+	// Saturation.
+	if got := bar(10.0); strings.Count(got, "#") != 40 {
+		t.Errorf("bar(10.0) = %q, want saturated", got)
+	}
+	if got := bar(0.01); strings.Count(got, "-") != 20 {
+		t.Errorf("bar(0.01) = %q, want saturated", got)
+	}
+}

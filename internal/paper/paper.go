@@ -1,0 +1,234 @@
+// Package paper implements the reproduction of every table and figure in
+// the evaluation of "Enabling Transparent Memory-Compression for Commodity
+// Memory Systems" (HPCA 2019). Each experiment builds on the simulator in
+// internal/sim and prints the same rows/series the paper reports; shapes
+// (who wins, rough factors, crossovers) are the reproduction target, not
+// absolute numbers — see EXPERIMENTS.md.
+//
+// The Runner caches simulation results by (workload, scheme, variant), so
+// experiments that share runs (most share the uncompressed baseline) pay
+// for them once per process.
+package paper
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"ptmc/internal/sim"
+	"ptmc/internal/stats"
+	"ptmc/internal/workload"
+)
+
+// Options scopes an experiment run.
+type Options struct {
+	Cores   int
+	Warmup  int64
+	Measure int64
+	Seed    int64
+
+	// Workload subsets (names). A nil slice selects the full paper set;
+	// an empty non-nil slice selects none.
+	Spec   []string // memory-intensive SPEC set (Figures 4-15)
+	Graph  []string // GAP set
+	Mixes  []string // multiprogrammed mixes
+	All    []string // Figure 17 population (defaults to every workload+mix)
+	L3MB   int      // LLC size in MB (Table I: 8)
+	Silent bool     // suppress per-run progress lines
+}
+
+// Quick returns a laptop-scale option set: representative workloads and a
+// short horizon. The shapes of every figure survive; error bars shrink with
+// -insts in cmd/paperbench.
+func Quick() Options {
+	return Options{
+		Cores:   8,
+		Warmup:  700_000,
+		Measure: 350_000,
+		Seed:    1,
+		Spec: []string{"libquantum06", "lbm06", "mcf06", "soplex06",
+			"lbm17", "xz17"},
+		Graph: []string{"pr-twitter", "bfs-web", "cc-sk"},
+		Mixes: []string{"mix1", "mix3"},
+		All: []string{"libquantum06", "lbm06", "mcf06", "soplex06", "sphinx306",
+			"leela17", "xz17", "pr-twitter", "bfs-web", "mix1"},
+		L3MB: 8,
+	}
+}
+
+// Full returns the complete paper workload population (slow: intended for
+// cmd/paperbench -full).
+func Full() Options {
+	o := Quick()
+	o.Warmup = 1_000_000
+	o.Measure = 1_000_000
+	o.Spec = nil
+	o.Graph = nil
+	o.Mixes = nil
+	o.All = nil
+	return o
+}
+
+func (o *Options) spec() []string {
+	if o.Spec != nil {
+		return o.Spec
+	}
+	var out []string
+	for _, w := range workload.HighMPKI() {
+		out = append(out, w.Name)
+	}
+	return out
+}
+
+func (o *Options) graph() []string {
+	if o.Graph != nil {
+		return o.Graph
+	}
+	var out []string
+	for _, w := range workload.Graph() {
+		out = append(out, w.Name)
+	}
+	return out
+}
+
+func (o *Options) mixes() []string {
+	if o.Mixes != nil {
+		return o.Mixes
+	}
+	var out []string
+	for _, m := range workload.Mixes() {
+		out = append(out, m.Name)
+	}
+	return out
+}
+
+func (o *Options) all() []string {
+	if o.All != nil {
+		return o.All
+	}
+	return workload.Names()
+}
+
+// Runner executes experiments against a result cache.
+type Runner struct {
+	Opts  Options
+	Out   io.Writer
+	cache map[string]*sim.Result
+}
+
+// NewRunner builds a Runner writing human-readable reports to out.
+func NewRunner(opts Options, out io.Writer) *Runner {
+	return &Runner{Opts: opts, Out: out, cache: make(map[string]*sim.Result)}
+}
+
+// config builds the base simulation config for a workload/scheme pair.
+func (r *Runner) config(wl, scheme string) sim.Config {
+	cfg := sim.Default()
+	cfg.Workload = wl
+	cfg.Scheme = scheme
+	cfg.Cores = r.Opts.Cores
+	cfg.WarmupInstr = r.Opts.Warmup
+	cfg.MeasureInstr = r.Opts.Measure
+	cfg.Seed = r.Opts.Seed
+	if r.Opts.L3MB > 0 {
+		cfg.L3Bytes = r.Opts.L3MB << 20
+	}
+	return cfg
+}
+
+// Result runs (or recalls) one simulation. variant distinguishes modified
+// configs (e.g. channel sweeps); mutate may adjust the config before the
+// run.
+func (r *Runner) Result(wl, scheme, variant string, mutate func(*sim.Config)) (*sim.Result, error) {
+	key := wl + "|" + scheme + "|" + variant
+	if res, ok := r.cache[key]; ok {
+		return res, nil
+	}
+	cfg := r.config(wl, scheme)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s%s: %w", wl, scheme, variant, err)
+	}
+	if res.Mem.IntegrityErrs > 0 {
+		return nil, fmt.Errorf("%s/%s%s: %d integrity errors", wl, scheme, variant, res.Mem.IntegrityErrs)
+	}
+	if !r.Opts.Silent {
+		fmt.Fprintf(r.Out, "    [ran] %v\n", res)
+	}
+	r.cache[key] = res
+	return res, nil
+}
+
+// speedup returns the weighted speedup of scheme over the uncompressed
+// baseline for one workload.
+func (r *Runner) speedup(wl, scheme string) (float64, error) {
+	base, err := r.Result(wl, sim.SchemeUncompressed, "", nil)
+	if err != nil {
+		return 0, err
+	}
+	res, err := r.Result(wl, scheme, "", nil)
+	if err != nil {
+		return 0, err
+	}
+	return res.WeightedSpeedupOver(base), nil
+}
+
+// geoMeanSpeedup averages a scheme's speedup over a workload list.
+func (r *Runner) geoMeanSpeedup(wls []string, scheme string) (float64, error) {
+	var vs []float64
+	for _, wl := range wls {
+		s, err := r.speedup(wl, scheme)
+		if err != nil {
+			return 0, err
+		}
+		vs = append(vs, s)
+	}
+	return stats.GeoMean(vs), nil
+}
+
+// header prints an experiment banner.
+func (r *Runner) header(title string) {
+	fmt.Fprintf(r.Out, "\n=== %s ===\n", title)
+}
+
+// bar renders an ASCII bar for a speedup value: "|" marks 1.0 (baseline);
+// each cell is 2.5% of speedup. Values below 1.0 grow to the left.
+func bar(v float64) string {
+	const cell = 0.025
+	n := int((v - 1.0) / cell)
+	switch {
+	case n >= 0:
+		if n > 40 {
+			n = 40
+		}
+		return "|" + strings.Repeat("#", n)
+	default:
+		if n < -20 {
+			n = -20
+		}
+		return strings.Repeat("-", -n) + "|"
+	}
+}
+
+// sortedCopy returns vs sorted ascending (Figure 17's S-curve).
+func sortedCopy(vs []float64) []float64 {
+	out := append([]float64(nil), vs...)
+	sort.Float64s(out)
+	return out
+}
+
+// lookupWorkload resolves a workload name (mixes resolve to a synthetic
+// description labeled "mix").
+func lookupWorkload(name string) (*workload.Workload, error) {
+	if w, err := workload.Lookup(name); err == nil {
+		return w, nil
+	}
+	if _, err := workload.LookupMix(name); err == nil {
+		return &workload.Workload{Name: name, Suite: "mix"}, nil
+	}
+	return nil, fmt.Errorf("paper: unknown workload %q", name)
+}

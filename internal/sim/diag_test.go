@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"testing"
+
+	"ptmc/internal/workload"
+)
+
+// steadyWorkload is a small streaming workload whose sweep wraps several
+// times within a short horizon: 2 cores x 512 KB sweeps over a 16 MB
+// footprint against a 256 KB L3.
+func steadyWorkload() *workload.Workload {
+	return &workload.Workload{
+		Name: "steady-stream", Suite: "test",
+		FootprintBytes: 16 << 20,
+		MemFrac:        0.35, WriteFrac: 0.25,
+		SeqProb: 0.85, SeqRun: 48,
+		HotFrac: 0.02, HotProb: 0.2,
+		SweepBytes: 512 << 10,
+		Mix: workload.ValueMix{
+			{Kind: workload.KindZero, Weight: 35},
+			{Kind: workload.KindSmallInt, Weight: 45},
+			{Kind: workload.KindDelta8, Weight: 10},
+			{Kind: workload.KindRandom, Weight: 10},
+		},
+	}
+}
+
+func steadyCfg(scheme string) Config {
+	cfg := Default()
+	cfg.Custom = steadyWorkload()
+	cfg.Workload = "steady-stream"
+	cfg.Scheme = scheme
+	cfg.Cores = 2
+	cfg.L3Bytes = 256 << 10
+	cfg.WarmupInstr = 250_000
+	cfg.MeasureInstr = 250_000
+	return cfg
+}
+
+func TestDiagIdeal(t *testing.T) {
+	for _, sch := range []string{SchemeUncompressed, SchemeIdeal, SchemePTMC, SchemeDynamicPTMC, SchemeTableTMC} {
+		r, err := Run(steadyCfg(sch))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%-13s cyc=%d ipc=%.3f L3hit=%.2f dR=%d dW=%d rowhit=%.2f avgRdLat=%.0f free=%d useful=%d dem=%d mis=%d meta=%d coal=%d cwr=%d inv=%d",
+			sch, r.Cycles, r.IPC(), r.L3.HitRate(), r.DRAM.Reads, r.DRAM.Writes, r.DRAM.RowHitRate(), r.DRAM.AvgReadLatency(),
+			r.Mem.FreeInstalls, r.Mem.UsefulFreePf, r.Mem.DemandReads, r.Mem.MispredictReads, r.Mem.MetadataReads, r.Mem.CoalescedReads, r.Mem.CleanCompIntoW, r.Mem.Invalidates)
+	}
+}

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"ptmc/internal/cache"
+	"ptmc/internal/dram"
+	"ptmc/internal/energy"
+	"ptmc/internal/memctrl"
+	"ptmc/internal/stats"
+)
+
+// Result holds the measured-window outcome of one run.
+type Result struct {
+	Workload string
+	Scheme   string
+	Cores    int
+
+	Instructions int64 // total retired across cores (measured window)
+	Cycles       int64 // slowest core's finish cycle
+	PerCoreIPC   []float64
+
+	L3   cache.Stats
+	Mem  memctrl.Stats
+	DRAM dram.Stats
+
+	MPKI           float64
+	FootprintBytes uint64
+	Energy         energy.Breakdown
+
+	LLPAccuracy float64
+	HasLLP      bool
+
+	MCacheHitRate float64
+	HasMCache     bool
+}
+
+// IPC returns the aggregate instructions per cycle.
+func (r *Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// WeightedSpeedupOver computes the paper's aggregate metric against a
+// baseline run of the same workload.
+func (r *Result) WeightedSpeedupOver(base *Result) float64 {
+	return stats.WeightedSpeedup(r.PerCoreIPC, base.PerCoreIPC)
+}
+
+// BandwidthOver returns this run's total DRAM bursts normalized to a
+// baseline run (Figures 4 and 14 are stacks of per-category versions).
+func (r *Result) BandwidthOver(base *Result) float64 {
+	return stats.Ratio(float64(r.Mem.Total()), float64(base.Mem.Total()))
+}
+
+// String summarizes the run.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %-13s IPC=%.3f MPKI=%.1f L3hit=%.1f%%",
+		r.Workload, r.Scheme, r.IPC(), r.MPKI, 100*r.L3.HitRate())
+	fmt.Fprintf(&b, " dramR=%d dramW=%d", r.DRAM.Reads, r.DRAM.Writes)
+	if r.HasLLP {
+		fmt.Fprintf(&b, " llp=%.1f%%", 100*r.LLPAccuracy)
+	}
+	if r.HasMCache {
+		fmt.Fprintf(&b, " mcache=%.1f%%", 100*r.MCacheHitRate)
+	}
+	if r.Mem.IntegrityErrs > 0 {
+		fmt.Fprintf(&b, " INTEGRITY-ERRORS=%d", r.Mem.IntegrityErrs)
+	}
+	return b.String()
+}
+
+// Run is the one-call entry: build a simulator from cfg and run it.
+func Run(cfg Config) (*Result, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
+
+// Compare runs the same workload/seed under several schemes, returning
+// results keyed by scheme name.
+func Compare(cfg Config, schemes ...string) (map[string]*Result, error) {
+	out := make(map[string]*Result, len(schemes))
+	for _, scheme := range schemes {
+		c := cfg
+		c.Scheme = scheme
+		r, err := Run(c)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", cfg.Workload, scheme, err)
+		}
+		out[scheme] = r
+	}
+	return out, nil
+}

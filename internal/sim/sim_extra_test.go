@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"ptmc/internal/workload"
+)
+
+func TestNextLineSchemeTraffic(t *testing.T) {
+	r := runQuick(t, "libquantum06", SchemeNextLine)
+	if r.Mem.PrefetchReads == 0 {
+		t.Error("next-line prefetcher issued no prefetches")
+	}
+	if r.Mem.IntegrityErrs != 0 {
+		t.Error("integrity errors")
+	}
+}
+
+func TestOutOfMemorySurfacesAsError(t *testing.T) {
+	cfg := quickCfg("mcf06", SchemeUncompressed)
+	cfg.MemBytes = 1 << 22 // 4 MB of physical memory: mcf06 cannot fit
+	_, err := Run(cfg)
+	if err == nil || !strings.Contains(err.Error(), "out of physical memory") {
+		t.Errorf("expected OOM error, got %v", err)
+	}
+}
+
+func TestWarmupResetsStats(t *testing.T) {
+	// With warmup, the measured window must not include warmup traffic:
+	// an identical config with zero warmup must report more total DRAM
+	// traffic for the same measured instruction count... not necessarily
+	// — but instructions must match the measured window exactly.
+	cfg := quickCfg("leela17", SchemeUncompressed)
+	cfg.WarmupInstr = 50_000
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Instructions != int64(cfg.Cores)*cfg.MeasureInstr {
+		t.Errorf("instructions = %d, want %d", r.Instructions, int64(cfg.Cores)*cfg.MeasureInstr)
+	}
+	// Cold-start traffic (page-init fills) should be absent from a warmed
+	// run's measured window relative to footprint touched.
+	if r.Cycles <= 0 {
+		t.Error("cycles not measured")
+	}
+}
+
+func TestCustomWorkloadValidation(t *testing.T) {
+	cfg := Default()
+	cfg.Custom = &workload.Workload{Name: "bad"} // invalid
+	cfg.Workload = "bad"
+	if _, err := New(cfg); err == nil {
+		t.Error("invalid custom workload should be rejected")
+	}
+}
+
+func TestBandwidthOverBaseline(t *testing.T) {
+	base := runQuick(t, "pr-twitter", SchemeUncompressed)
+	nl := runQuick(t, "pr-twitter", SchemeNextLine)
+	if bw := nl.BandwidthOver(base); bw <= 1.0 {
+		t.Errorf("next-line prefetch bandwidth ratio = %.3f, want > 1 on a graph workload", bw)
+	}
+}
+
+func TestLowMPKIWorkloadBarelyTouchesDRAM(t *testing.T) {
+	// Cache-resident workloads (exchange2-like) must land in the low-MPKI
+	// band — the Figure 17 left tail. Needs the Table I LLC (8 MB) and
+	// enough warmup for the working set to become resident.
+	cfg := quickCfg("exchange217", SchemeUncompressed)
+	cfg.L3Bytes = 8 << 20
+	cfg.WarmupInstr = 400_000
+	cfg.MeasureInstr = 100_000
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MPKI > 20 {
+		t.Errorf("cache-resident workload MPKI = %.1f, want low", r.MPKI)
+	}
+}
+
+func TestHighMPKIWorkloadBands(t *testing.T) {
+	// Memory-intensive workloads must land in Table II's MPKI band
+	// (roughly 20-120 at our horizon).
+	for _, wl := range []string{"lbm06", "mcf06", "pr-twitter"} {
+		r := runQuick(t, wl, SchemeUncompressed)
+		if r.MPKI < 15 || r.MPKI > 200 {
+			t.Errorf("%s MPKI = %.1f, outside the memory-intensive band", wl, r.MPKI)
+		}
+	}
+}
+
+func TestPerCoreDynamicRuns(t *testing.T) {
+	cfg := quickCfg("libquantum06", SchemeDynamicPTMC)
+	cfg.PerCoreDyn = true
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Mem.IntegrityErrs != 0 {
+		t.Error("integrity errors under per-core dynamic")
+	}
+}
+
+func TestSchemeNamesRoundTrip(t *testing.T) {
+	for _, sch := range Schemes() {
+		cfg := quickCfg("leela17", sch)
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", sch, err)
+		}
+		name := s.Controller().Name()
+		if name != sch && !(sch == SchemeIdeal && name == "ideal-tmc") &&
+			!(sch == SchemeNextLine && name == "nextline") {
+			t.Errorf("scheme %s -> controller %s", sch, name)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+// Package stats provides the aggregate-performance math the paper's
+// methodology uses: weighted speedup across cores and geometric means
+// across workloads.
+package stats
+
+import "math"
+
+// WeightedSpeedup returns (1/n) Σ IPCᵢ(scheme) / IPCᵢ(baseline): the
+// paper's aggregate metric, normalized so 1.0 means parity.
+func WeightedSpeedup(scheme, baseline []float64) float64 {
+	if len(scheme) != len(baseline) || len(scheme) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for i := range scheme {
+		if baseline[i] == 0 {
+			return math.NaN()
+		}
+		sum += scheme[i] / baseline[i]
+	}
+	return sum / float64(len(scheme))
+}
+
+// GeoMean returns the geometric mean of positive values (the paper's
+// cross-workload average).
+func GeoMean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return math.NaN()
+	}
+	logSum := 0.0
+	for _, v := range vs {
+		if v <= 0 {
+			return math.NaN()
+		}
+		logSum += math.Log(v)
+	}
+	return math.Exp(logSum / float64(len(vs)))
+}
+
+// Ratio returns a/b, or 0 when b is 0 (normalized-bandwidth plots).
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

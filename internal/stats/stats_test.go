@@ -1,0 +1,59 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWeightedSpeedup(t *testing.T) {
+	if got := WeightedSpeedup([]float64{2, 2}, []float64{1, 1}); got != 2 {
+		t.Errorf("uniform doubling = %v, want 2", got)
+	}
+	if got := WeightedSpeedup([]float64{2, 1}, []float64{1, 1}); got != 1.5 {
+		t.Errorf("mixed = %v, want 1.5", got)
+	}
+	if got := WeightedSpeedup([]float64{1}, []float64{1, 1}); !math.IsNaN(got) {
+		t.Error("length mismatch should be NaN")
+	}
+	if got := WeightedSpeedup(nil, nil); !math.IsNaN(got) {
+		t.Error("empty should be NaN")
+	}
+	if got := WeightedSpeedup([]float64{1}, []float64{0}); !math.IsNaN(got) {
+		t.Error("zero baseline should be NaN")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("geomean(2,8) = %v, want 4", got)
+	}
+	if got := GeoMean([]float64{1, 1, 1}); got != 1 {
+		t.Errorf("geomean(ones) = %v", got)
+	}
+	if !math.IsNaN(GeoMean(nil)) || !math.IsNaN(GeoMean([]float64{1, -1})) {
+		t.Error("degenerate inputs should be NaN")
+	}
+}
+
+func TestGeoMeanBounds(t *testing.T) {
+	// Property: min <= geomean <= max for positive inputs.
+	f := func(a, b, c uint16) bool {
+		vs := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		g := GeoMean(vs)
+		lo, hi := vs[0], vs[0]
+		for _, v := range vs {
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(6, 3) != 2 || Ratio(1, 0) != 0 {
+		t.Error("Ratio broken")
+	}
+}

@@ -1,0 +1,170 @@
+// Package trace records and replays instruction/access traces. USIMM — the
+// simulator the paper builds on — is trace-driven; this package gives the
+// reproduction the same workflow: capture the access stream of a synthetic
+// workload (or convert an external trace) once, then replay it bit-exactly
+// under every memory-controller scheme.
+//
+// The on-disk format is a little-endian binary stream:
+//
+//	header:  magic "PTMCTRC1" (8 bytes), mix descriptor (see below)
+//	events:  repeated records of
+//	         vaddr  uint64
+//	         gap    uint16  (non-memory instructions before the access)
+//	         flags  uint8   (bit0: write)
+//
+// Replay re-synthesizes data values with the same deterministic machinery
+// the generators use, so compressibility is reproduced from the mix
+// descriptor embedded in the header.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"ptmc/internal/workload"
+)
+
+var magic = [8]byte{'P', 'T', 'M', 'C', 'T', 'R', 'C', '1'}
+
+// ErrBadMagic reports a stream that is not a PTMC trace.
+var ErrBadMagic = errors.New("trace: bad magic (not a PTMC trace)")
+
+// Event is one recorded access.
+type Event struct {
+	VAddr uint64
+	Gap   uint16
+	Write bool
+}
+
+const flagWrite = 1
+
+// Writer appends events to a trace stream.
+type Writer struct {
+	w      *bufio.Writer
+	events uint64
+}
+
+// NewWriter writes a trace header describing the value mix (so replay can
+// synthesize data with the source workload's compressibility) and returns
+// a Writer.
+func NewWriter(w io.Writer, mix workload.ValueMix, seed int64) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(seed)); err != nil {
+		return nil, err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint16(len(mix))); err != nil {
+		return nil, err
+	}
+	for _, e := range mix {
+		if err := binary.Write(bw, binary.LittleEndian, uint16(e.Kind)); err != nil {
+			return nil, err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint16(e.Weight)); err != nil {
+			return nil, err
+		}
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Append records one event.
+func (t *Writer) Append(e Event) error {
+	var buf [11]byte
+	binary.LittleEndian.PutUint64(buf[0:], e.VAddr)
+	binary.LittleEndian.PutUint16(buf[8:], e.Gap)
+	if e.Write {
+		buf[10] = flagWrite
+	}
+	if _, err := t.w.Write(buf[:]); err != nil {
+		return err
+	}
+	t.events++
+	return nil
+}
+
+// Events returns the number of appended events.
+func (t *Writer) Events() uint64 { return t.events }
+
+// Flush drains buffered output; call before closing the underlying file.
+func (t *Writer) Flush() error { return t.w.Flush() }
+
+// Header is the decoded trace preamble.
+type Header struct {
+	Seed int64
+	Mix  workload.ValueMix
+}
+
+// readHeader parses and validates the preamble.
+func readHeader(r *bufio.Reader) (Header, error) {
+	var m [8]byte
+	if _, err := io.ReadFull(r, m[:]); err != nil {
+		return Header{}, fmt.Errorf("trace: short header: %w", err)
+	}
+	if m != magic {
+		return Header{}, ErrBadMagic
+	}
+	var h Header
+	var seed uint64
+	if err := binary.Read(r, binary.LittleEndian, &seed); err != nil {
+		return Header{}, err
+	}
+	h.Seed = int64(seed)
+	var n uint16
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return Header{}, err
+	}
+	if n == 0 || n > 64 {
+		return Header{}, fmt.Errorf("trace: implausible mix size %d", n)
+	}
+	for i := 0; i < int(n); i++ {
+		var kind, weight uint16
+		if err := binary.Read(r, binary.LittleEndian, &kind); err != nil {
+			return Header{}, err
+		}
+		if err := binary.Read(r, binary.LittleEndian, &weight); err != nil {
+			return Header{}, err
+		}
+		h.Mix = append(h.Mix, struct {
+			Kind   workload.ValueKind
+			Weight int
+		}{workload.ValueKind(kind), int(weight)})
+	}
+	return h, nil
+}
+
+// Reader streams events from a trace.
+type Reader struct {
+	r      *bufio.Reader
+	Header Header
+}
+
+// NewReader validates the header and returns a streaming reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	h, err := readHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{r: br, Header: h}, nil
+}
+
+// Next returns the next event; io.EOF after the last one.
+func (t *Reader) Next() (Event, error) {
+	var buf [11]byte
+	if _, err := io.ReadFull(t.r, buf[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return Event{}, fmt.Errorf("trace: truncated event: %w", err)
+		}
+		return Event{}, err
+	}
+	return Event{
+		VAddr: binary.LittleEndian.Uint64(buf[0:]),
+		Gap:   binary.LittleEndian.Uint16(buf[8:]),
+		Write: buf[10]&flagWrite != 0,
+	}, nil
+}

@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"ptmc/internal/workload"
+)
+
+func testMix() workload.ValueMix {
+	return workload.ValueMix{
+		{Kind: workload.KindZero, Weight: 30},
+		{Kind: workload.KindSmallInt, Weight: 50},
+		{Kind: workload.KindRandom, Weight: 20},
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, testMix(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := []Event{
+		{VAddr: 0x1000, Gap: 3, Write: false},
+		{VAddr: 0x1040, Gap: 0, Write: true},
+		{VAddr: 0xFFFF_FFFF_0000, Gap: 65535, Write: false},
+	}
+	for _, e := range events {
+		if err := w.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Events() != 3 {
+		t.Errorf("events = %d", w.Events())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Header.Seed != 7 || len(r.Header.Mix) != 3 {
+		t.Errorf("header = %+v", r.Header)
+	}
+	for i, want := range events {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("event %d: %+v != %+v", i, got, want)
+		}
+	}
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOTATRACE GARBAGE"))); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("got %v, want ErrBadMagic", err)
+	}
+}
+
+func TestTruncatedEvent(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, testMix(), 1)
+	w.Append(Event{VAddr: 1})
+	w.Flush()
+	raw := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(raw[:len(raw)-3]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Error("truncated event should error")
+	}
+}
+
+func TestCaptureTeesOps(t *testing.T) {
+	wl, _ := workload.Lookup("libquantum06")
+	src := wl.NewStream(3)
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, wl.Mix, 3)
+	cap := NewCapture(src, w)
+
+	var recorded []workload.Op
+	for i := 0; i < 500; i++ {
+		recorded = append(recorded, cap.Next())
+	}
+	if cap.Err() != nil {
+		t.Fatal(cap.Err())
+	}
+	w.Flush()
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewReplay(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Len() != 500 {
+		t.Fatalf("replay has %d events", rep.Len())
+	}
+	for i, want := range recorded {
+		got := rep.Next()
+		if got.VAddr != want.VAddr || got.Write != want.Write || got.Gap != want.Gap {
+			t.Fatalf("op %d: %+v != %+v", i, got, want)
+		}
+	}
+	// Looping after exhaustion.
+	first := rep.Next()
+	if first.VAddr != recorded[0].VAddr || rep.Loops != 1 {
+		t.Error("replay should loop back to the start")
+	}
+}
+
+func TestCaptureValuePassthrough(t *testing.T) {
+	wl, _ := workload.Lookup("lbm06")
+	src := wl.NewStream(4)
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, wl.Mix, 4)
+	cap := NewCapture(src, w)
+	a, b := make([]byte, 64), make([]byte, 64)
+	cap.FillLine(7, a)
+	src2 := wl.NewStream(4)
+	src2.FillLine(7, b)
+	if !bytes.Equal(a, b) {
+		t.Error("capture must not perturb value synthesis")
+	}
+	cap.MutateLine(7, a)
+}
+
+func TestReplayValuesMatchMixCompressibility(t *testing.T) {
+	// Replay synthesizes values from the header mix: a zero-kind page
+	// must produce a zero-dominated line.
+	var buf bytes.Buffer
+	zeroMix := workload.ValueMix{{Kind: workload.KindZero, Weight: 1}}
+	w, _ := NewWriter(&buf, zeroMix, 9)
+	w.Append(Event{VAddr: 0})
+	w.Flush()
+	r, _ := NewReader(&buf)
+	rep, err := NewReplay(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := make([]byte, 64)
+	rep.FillLine(123, line)
+	nonzero := 0
+	for _, b := range line {
+		if b != 0 {
+			nonzero++
+		}
+	}
+	if nonzero > 8 {
+		t.Errorf("zero-mix line has %d nonzero bytes", nonzero)
+	}
+	// Mutation changes values deterministically.
+	line2 := make([]byte, 64)
+	rep.MutateLine(123, line2)
+	if bytes.Equal(line, line2) {
+		t.Error("mutate should change the line")
+	}
+}
+
+func TestEmptyTraceRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, testMix(), 1)
+	w.Flush()
+	r, _ := NewReader(&buf)
+	if _, err := NewReplay(r); !errors.Is(err, ErrEmptyTrace) {
+		t.Errorf("got %v, want ErrEmptyTrace", err)
+	}
+}
+
+func TestImplausibleHeaderRejected(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	buf.Write(make([]byte, 8)) // seed
+	buf.Write([]byte{0, 0})    // zero mix entries
+	if _, err := NewReader(&buf); err == nil {
+		t.Error("zero-entry mix should be rejected")
+	}
+}

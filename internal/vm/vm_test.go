@@ -1,0 +1,149 @@
+package vm
+
+import (
+	"testing"
+
+	"ptmc/internal/mem"
+)
+
+func TestPageCountValidation(t *testing.T) {
+	if _, err := New(3<<30, 1, 0, 0); err == nil {
+		t.Error("3 GB (non power-of-two pages) should be rejected")
+	}
+	if _, err := New(1<<20, 1, 0, 2<<20); err == nil {
+		t.Error("reservation larger than memory should be rejected")
+	}
+	if _, err := New(16<<30, 8, 42, 0); err != nil {
+		t.Errorf("16 GB should validate: %v", err)
+	}
+}
+
+func TestSameLineSameTranslation(t *testing.T) {
+	s, _ := New(1<<24, 1, 1, 0)
+	a1, _, err := s.Translate(0, 0x1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _, _ := s.Translate(0, 0x1234)
+	if a1 != a2 {
+		t.Error("repeat translation must be stable")
+	}
+	// Same line, different byte offset.
+	a3, _, _ := s.Translate(0, 0x1234+1)
+	if a1 != a3 {
+		t.Error("offsets within a line must map to the same line")
+	}
+}
+
+func TestIntraPageLinesStayAdjacent(t *testing.T) {
+	// PTMC group geometry depends on virtual adjacency within a page
+	// surviving translation.
+	s, _ := New(1<<24, 1, 7, 0)
+	base := uint64(0x40000) // page-aligned
+	a0, _, _ := s.Translate(0, base)
+	for i := uint64(1); i < PageLines; i++ {
+		ai, _, _ := s.Translate(0, base+i*64)
+		if ai != a0+mem.LineAddr(i) {
+			t.Fatalf("line %d not adjacent: %d vs %d", i, ai, a0)
+		}
+	}
+}
+
+func TestCoresGetDistinctPages(t *testing.T) {
+	s, _ := New(1<<24, 8, 3, 0)
+	seen := map[mem.LineAddr]int{}
+	for core := 0; core < 8; core++ {
+		a, _, err := s.Translate(core, 0x8000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := seen[a]; dup {
+			t.Errorf("cores %d and %d share physical line %d", prev, core, a)
+		}
+		seen[a] = core
+	}
+	if s.AllocatedPages() != 8 {
+		t.Errorf("allocated = %d, want 8", s.AllocatedPages())
+	}
+}
+
+func TestDistinctVPagesDistinctPPages(t *testing.T) {
+	s, _ := New(1<<26, 1, 9, 0)
+	seen := map[mem.LineAddr]bool{}
+	for v := uint64(0); v < 1000; v++ {
+		a, _, err := s.Translate(0, v<<PageShift)
+		if err != nil {
+			t.Fatal(err)
+		}
+		page := a >> (PageShift - 6)
+		if seen[page] {
+			t.Fatalf("physical page %d allocated twice", page)
+		}
+		seen[page] = true
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	s, _ := New(1<<16, 1, 0, 0) // 16 pages
+	for v := uint64(0); v < 16; v++ {
+		if _, _, err := s.Translate(0, v<<PageShift); err != nil {
+			t.Fatalf("page %d: %v", v, err)
+		}
+	}
+	if _, _, err := s.Translate(0, 16<<PageShift); err == nil {
+		t.Error("17th page should fail on 16-page memory")
+	}
+}
+
+func TestReservedRegionNeverAllocated(t *testing.T) {
+	s, _ := New(1<<20, 1, 5, 64<<10) // 256 pages, 16 reserved
+	limit := s.ReservedBase()
+	for v := uint64(0); v < 240; v++ {
+		a, _, err := s.Translate(0, v<<PageShift)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a >= limit {
+			t.Fatalf("data page allocated inside reserved region: %d >= %d", a, limit)
+		}
+	}
+	if _, _, err := s.Translate(0, 240<<PageShift); err == nil {
+		t.Error("allocation beyond data region should fail")
+	}
+}
+
+func TestDeterminismAcrossInstances(t *testing.T) {
+	s1, _ := New(1<<24, 2, 11, 0)
+	s2, _ := New(1<<24, 2, 11, 0)
+	for v := uint64(0); v < 100; v++ {
+		a1, _, _ := s1.Translate(int(v%2), v<<PageShift)
+		a2, _, _ := s2.Translate(int(v%2), v<<PageShift)
+		if a1 != a2 {
+			t.Fatal("same seed must give same translations")
+		}
+	}
+	s3, _ := New(1<<24, 2, 12, 0)
+	diff := false
+	for v := uint64(0); v < 100; v++ {
+		a1, _, _ := s1.Translate(int(v%2), v<<PageShift)
+		a3, _, _ := s3.Translate(int(v%2), v<<PageShift)
+		if a1 != a3 {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different seeds should permute pages differently")
+	}
+}
+
+func TestFootprintAndTotals(t *testing.T) {
+	s, _ := New(1<<24, 1, 0, 0)
+	s.Translate(0, 0)
+	s.Translate(0, 1<<PageShift)
+	if s.FootprintBytes() != 2<<PageShift {
+		t.Errorf("footprint = %d", s.FootprintBytes())
+	}
+	if s.TotalLines() != (1<<24)/64 {
+		t.Errorf("total lines = %d", s.TotalLines())
+	}
+}

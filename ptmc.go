@@ -1,0 +1,109 @@
+// Package ptmc is a full-system reproduction of "Enabling Transparent
+// Memory-Compression for Commodity Memory Systems" (Young, Kariyappa,
+// Qureshi — HPCA 2019): Practical and Transparent Memory Compression.
+//
+// The library simulates, cycle by cycle, an 8-core out-of-order system with
+// a three-level cache hierarchy and a DDR4 memory system, and implements
+// the paper's memory-controller design — inline-metadata markers, a Line
+// Location Predictor, a Line Inversion Table, and Dynamic set-sampled
+// cost/benefit gating — alongside every baseline the paper compares
+// against. Memory contents are real bytes: compressed groups, markers,
+// inverted lines, and Invalid-Line tombstones are materialized and decoded
+// on every access, so data integrity is continuously checked rather than
+// assumed.
+//
+// Quick start:
+//
+//	cfg := ptmc.DefaultConfig()
+//	cfg.Workload = "lbm06"
+//	cfg.Scheme = ptmc.SchemeDynamicPTMC
+//	result, err := ptmc.Run(cfg)
+//
+// To compare against the uncompressed baseline (the paper's normalization):
+//
+//	rs, err := ptmc.Compare(cfg, ptmc.SchemeUncompressed, ptmc.SchemeDynamicPTMC)
+//	speedup := rs[ptmc.SchemeDynamicPTMC].WeightedSpeedupOver(rs[ptmc.SchemeUncompressed])
+//
+// See cmd/ptmcsim for a CLI, cmd/paperbench for the harness that
+// regenerates every table and figure of the paper, and examples/ for
+// runnable walkthroughs.
+package ptmc
+
+import (
+	"ptmc/internal/compress"
+	"ptmc/internal/sim"
+	"ptmc/internal/workload"
+)
+
+// Config describes one simulation; see DefaultConfig for Table I defaults.
+type Config = sim.Config
+
+// Result holds the measured statistics of one run.
+type Result = sim.Result
+
+// Workload describes a synthetic benchmark; the built-in table is listed by
+// Workloads().
+type Workload = workload.Workload
+
+// ValueMix is a workload's distribution of data-value shapes (determines
+// measured compressibility).
+type ValueMix = workload.ValueMix
+
+// ValueKind selects a data-value synthesizer for workload pages.
+type ValueKind = workload.ValueKind
+
+// Value kinds, from most to least compressible.
+const (
+	KindZero     = workload.KindZero
+	KindSmallInt = workload.KindSmallInt
+	KindDelta8   = workload.KindDelta8
+	KindPointer  = workload.KindPointer
+	KindFP       = workload.KindFP
+	KindRandom   = workload.KindRandom
+)
+
+// Compressor is a per-line compression algorithm (FPC, BDI, or the
+// FPC+BDI hybrid the paper evaluates).
+type Compressor = compress.Algorithm
+
+// Scheme names accepted in Config.Scheme.
+const (
+	SchemeUncompressed = sim.SchemeUncompressed // baseline memory system
+	SchemeNextLine     = sim.SchemeNextLine     // next-line prefetch (Table VI)
+	SchemeIdeal        = sim.SchemeIdeal        // oracle TMC, zero overhead
+	SchemeTableTMC     = sim.SchemeTableTMC     // metadata-table TMC (prior art)
+	SchemeMemZip       = sim.SchemeMemZip       // variable-burst TMC (MemZip, §VII)
+	SchemePTMC         = sim.SchemePTMC         // static PTMC (always compress)
+	SchemeDynamicPTMC  = sim.SchemeDynamicPTMC  // the paper's full design
+)
+
+// DefaultConfig returns the paper's Table I system configuration with a
+// laptop-scale simulation horizon.
+func DefaultConfig() Config { return sim.Default() }
+
+// Run simulates one workload under one scheme.
+func Run(cfg Config) (*Result, error) { return sim.Run(cfg) }
+
+// Compare runs the same workload and seed under several schemes.
+func Compare(cfg Config, schemes ...string) (map[string]*Result, error) {
+	return sim.Compare(cfg, schemes...)
+}
+
+// Schemes lists every memory-controller scheme name.
+func Schemes() []string { return sim.Schemes() }
+
+// Workloads lists every built-in workload and mix name.
+func Workloads() []string { return workload.Names() }
+
+// LookupWorkload returns a built-in workload description by name.
+func LookupWorkload(name string) (*Workload, error) { return workload.Lookup(name) }
+
+// NewHybridCompressor returns the FPC+BDI hybrid line compressor, usable
+// standalone for compressibility studies (see examples/membw-explorer).
+func NewHybridCompressor() Compressor { return compress.Hybrid{} }
+
+// NewFPCCompressor returns the Frequent-Pattern Compression algorithm.
+func NewFPCCompressor() Compressor { return compress.FPC{} }
+
+// NewBDICompressor returns the Base-Delta-Immediate algorithm.
+func NewBDICompressor() Compressor { return compress.BDI{} }

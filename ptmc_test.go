@@ -1,0 +1,67 @@
+package ptmc
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workload = "sphinx306"
+	cfg.Scheme = SchemeDynamicPTMC
+	cfg.Cores = 2
+	cfg.L3Bytes = 1 << 20
+	cfg.WarmupInstr = 10_000
+	cfg.MeasureInstr = 30_000
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IPC() <= 0 || r.Mem.IntegrityErrs != 0 {
+		t.Fatalf("bad result: %v", r)
+	}
+}
+
+func TestPublicCompare(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workload = "leela17"
+	cfg.Cores = 2
+	cfg.L3Bytes = 1 << 20
+	cfg.WarmupInstr = 5_000
+	cfg.MeasureInstr = 20_000
+	rs, err := Compare(cfg, SchemeUncompressed, SchemePTMC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := rs[SchemePTMC].WeightedSpeedupOver(rs[SchemeUncompressed])
+	if ws <= 0 {
+		t.Fatalf("weighted speedup = %v", ws)
+	}
+}
+
+func TestCatalogs(t *testing.T) {
+	if len(Schemes()) != 7 {
+		t.Errorf("schemes = %d, want 7", len(Schemes()))
+	}
+	if len(Workloads()) != 64 {
+		t.Errorf("workloads = %d, want 64", len(Workloads()))
+	}
+	w, err := LookupWorkload("mcf06")
+	if err != nil || w.Suite != "spec06" {
+		t.Errorf("LookupWorkload: %v %v", w, err)
+	}
+}
+
+func TestPublicCompressors(t *testing.T) {
+	line := make([]byte, 64)
+	for i := range line {
+		line[i] = byte(i % 4)
+	}
+	for _, c := range []Compressor{NewHybridCompressor(), NewFPCCompressor(), NewBDICompressor()} {
+		enc := c.Compress(line)
+		dec, n, err := c.Decompress(enc)
+		if err != nil || n != len(enc) || !bytes.Equal(dec, line) {
+			t.Errorf("%s: round trip failed", c.Name())
+		}
+	}
+}
