@@ -1,0 +1,31 @@
+# Tier-1 verification plus the race detector and the paperbench smoke.
+#
+#   make check   vet + build + race-enabled tests (the pre-commit gate)
+#   make smoke   regenerate the quick paperbench report and diff against
+#                the committed paperbench_quick.txt (slow: full quick set)
+#   make bench   compression + artifact micro-benchmarks with allocation
+#                counts (AppendCompress/DecompressInto must show 0 allocs/op)
+#   make ci      everything
+
+GO ?= go
+
+.PHONY: check vet build test smoke bench ci
+
+check: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+smoke:
+	./scripts/smoke.sh
+
+bench:
+	$(GO) test -run xxx -bench 'AppendCompress|DecompressInto' -benchmem .
+
+ci: check smoke

@@ -272,6 +272,74 @@ func BenchmarkHybridDecompress(b *testing.B) {
 	}
 }
 
+// benchLine returns a compressible 64-byte line (FPC-friendly words).
+func benchLine() []byte {
+	line := make([]byte, 64)
+	for i := 0; i < 16; i++ {
+		line[i*4] = byte(i)
+	}
+	return line
+}
+
+// BenchmarkAppendCompress measures the zero-allocation writeback hot path
+// (run with -benchmem: allocs/op must be 0).
+func BenchmarkAppendCompress(b *testing.B) {
+	line := benchLine()
+	for _, alg := range []Compressor{NewFPCCompressor(), NewBDICompressor(), NewHybridCompressor()} {
+		alg := alg
+		b.Run(alg.Name(), func(b *testing.B) {
+			buf := alg.AppendCompress(nil, line)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf = alg.AppendCompress(buf[:0], line)
+			}
+		})
+	}
+}
+
+// BenchmarkDecompressInto measures the zero-allocation fill hot path.
+func BenchmarkDecompressInto(b *testing.B) {
+	line := benchLine()
+	for _, alg := range []Compressor{NewFPCCompressor(), NewBDICompressor(), NewHybridCompressor()} {
+		alg := alg
+		b.Run(alg.Name(), func(b *testing.B) {
+			enc := alg.AppendCompress(nil, line)
+			out := make([]byte, 64)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := alg.DecompressInto(out, enc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure4Parallel measures end-to-end artifact wall-clock at 1 vs
+// 4 workers (a fresh runner per iteration, so nothing is cached between
+// iterations). The /4 case should run ≥2x faster than /1 on a 4-core
+// machine; the rendered bytes are identical either way.
+func BenchmarkFigure4Parallel(b *testing.B) {
+	opts := benchOptions()
+	opts.Warmup = 60_000
+	opts.Measure = 30_000
+	opts.Cores = 2
+	opts.L3MB = 1
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		b.Run(string(rune('0'+workers)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := paper.NewParallelRunner(opts, io.Discard, workers)
+				if err := r.Figure4(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	// Instructions simulated per wall-second, the simulator's own speed.
 	cfg := DefaultConfig()

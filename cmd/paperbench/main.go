@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -22,13 +23,15 @@ import (
 
 func main() {
 	var (
-		full   = flag.Bool("full", false, "run the full 64-workload population (slow)")
-		only   = flag.String("only", "", "comma-separated experiments (default: all)")
-		insts  = flag.Int64("insts", 0, "override measured instructions per core")
-		warmup = flag.Int64("warmup", 0, "override warmup instructions per core")
-		cores  = flag.Int("cores", 0, "override core count")
-		seed   = flag.Int64("seed", 1, "run seed")
-		quiet  = flag.Bool("quiet", false, "suppress per-run progress lines")
+		full     = flag.Bool("full", false, "run the full 64-workload population (slow)")
+		only     = flag.String("only", "", "comma-separated experiments (default: all)")
+		insts    = flag.Int64("insts", 0, "override measured instructions per core")
+		warmup   = flag.Int64("warmup", 0, "override warmup instructions per core")
+		cores    = flag.Int("cores", 0, "override core count")
+		seed     = flag.Int64("seed", 1, "run seed")
+		quiet    = flag.Bool("quiet", false, "suppress per-run progress lines")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
+			"max concurrent simulations (output is identical at any value)")
 	)
 	flag.Parse()
 
@@ -48,7 +51,7 @@ func main() {
 	opts.Seed = *seed
 	opts.Silent = *quiet
 
-	r := paper.NewRunner(opts, os.Stdout)
+	r := paper.NewParallelRunner(opts, os.Stdout, *parallel)
 
 	type experiment struct {
 		name string

@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"ptmc"
@@ -30,6 +32,8 @@ func main() {
 		l3MB         = flag.Int("l3mb", 8, "LLC size in MB")
 		seed         = flag.Int64("seed", 1, "deterministic run seed")
 		list         = flag.Bool("list", false, "list workloads and schemes, then exit")
+		parallel     = flag.Int("parallel", runtime.GOMAXPROCS(0),
+			"max concurrent scheme simulations")
 	)
 	flag.Parse()
 
@@ -56,7 +60,7 @@ func main() {
 	if *baseline && *scheme != ptmc.SchemeUncompressed {
 		schemes = append(schemes, ptmc.SchemeUncompressed)
 	}
-	results, err := ptmc.Compare(cfg, schemes...)
+	results, err := ptmc.CompareParallel(context.Background(), *parallel, cfg, schemes...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ptmcsim:", err)
 		os.Exit(1)

@@ -4,6 +4,12 @@
 // scheme choice). Each sweep reports Dynamic-PTMC's (or the named scheme's)
 // weighted speedup over the uncompressed baseline at every point.
 //
+// Points run concurrently up to -parallel workers; output prints in sweep
+// order once every point has settled, so the report is identical at any
+// worker count. A failing point does not abort the sweep: every point
+// runs, completed rows print, the failures are listed afterwards, and only
+// then does the process exit non-zero.
+//
 // Usage:
 //
 //	sweep -kind channels -workload lbm06
@@ -13,12 +19,21 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
 
 	"ptmc"
+	"ptmc/internal/exec"
 )
+
+type point struct {
+	label  string
+	mutate func(*ptmc.Config)
+}
 
 func main() {
 	var (
@@ -29,6 +44,8 @@ func main() {
 		warmup       = flag.Int64("warmup", 200_000, "warmup instructions per core")
 		cores        = flag.Int("cores", 8, "cores")
 		seed         = flag.Int64("seed", 1, "base seed")
+		parallel     = flag.Int("parallel", runtime.GOMAXPROCS(0),
+			"max concurrent simulations (output is identical at any value)")
 	)
 	flag.Parse()
 
@@ -39,58 +56,97 @@ func main() {
 	base.Cores = *cores
 	base.Seed = *seed
 
-	runPoint := func(label string, mutate func(*ptmc.Config)) {
-		cfg := base
-		mutate(&cfg)
-		rs, err := ptmc.Compare(cfg, ptmc.SchemeUncompressed, *scheme)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "sweep:", err)
-			os.Exit(1)
-		}
-		r := rs[*scheme]
-		b := rs[ptmc.SchemeUncompressed]
-		fmt.Printf("%-12s speedup=%.3f ipc=%.3f bw=%.3f llp=%.1f%% mpki=%.1f\n",
-			label, r.WeightedSpeedupOver(b), r.IPC(), r.BandwidthOver(b),
-			100*r.LLPAccuracy, r.MPKI)
-	}
-
-	fmt.Printf("sweep %s on %s (%s vs uncompressed)\n", *kind, *workloadName, *scheme)
+	var points []point
 	switch *kind {
 	case "channels":
 		for _, ch := range []int{1, 2, 4} {
 			ch := ch
-			runPoint(fmt.Sprintf("channels=%d", ch), func(c *ptmc.Config) { c.DRAM.Channels = ch })
+			points = append(points, point{fmt.Sprintf("channels=%d", ch),
+				func(c *ptmc.Config) { c.DRAM.Channels = ch }})
 		}
 	case "llc":
 		for _, mb := range []int{2, 4, 8, 16} {
 			mb := mb
-			runPoint(fmt.Sprintf("llc=%dMB", mb), func(c *ptmc.Config) { c.L3Bytes = mb << 20 })
+			points = append(points, point{fmt.Sprintf("llc=%dMB", mb),
+				func(c *ptmc.Config) { c.L3Bytes = mb << 20 }})
 		}
 	case "llp":
 		for _, n := range []int{64, 128, 256, 512, 1024, 4096} {
 			n := n
-			runPoint(fmt.Sprintf("llp=%d", n), func(c *ptmc.Config) { c.LLPEntries = n })
+			points = append(points, point{fmt.Sprintf("llp=%d", n),
+				func(c *ptmc.Config) { c.LLPEntries = n }})
 		}
 	case "mcache":
 		*scheme = ptmc.SchemeTableTMC // metadata cache only exists there
 		for _, kb := range []int{8, 16, 32, 64, 128} {
 			kb := kb
-			runPoint(fmt.Sprintf("mcache=%dKB", kb), func(c *ptmc.Config) {
-				c.MCacheBytes = kb << 10
-			})
+			points = append(points, point{fmt.Sprintf("mcache=%dKB", kb),
+				func(c *ptmc.Config) { c.MCacheBytes = kb << 10 }})
 		}
 	case "decomp":
 		for _, lat := range []int64{2, 5, 10, 20, 40} {
 			lat := lat
-			runPoint(fmt.Sprintf("decomp=%d", lat), func(c *ptmc.Config) { c.DecompCycles = lat })
+			points = append(points, point{fmt.Sprintf("decomp=%d", lat),
+				func(c *ptmc.Config) { c.DecompCycles = lat }})
 		}
 	case "seeds":
 		for s := int64(1); s <= 5; s++ {
 			s := s
-			runPoint(fmt.Sprintf("seed=%d", s), func(c *ptmc.Config) { c.Seed = s })
+			points = append(points, point{fmt.Sprintf("seed=%d", s),
+				func(c *ptmc.Config) { c.Seed = s }})
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "sweep: unknown kind %q\n", *kind)
+		os.Exit(1)
+	}
+
+	fmt.Printf("sweep %s on %s (%s vs uncompressed)\n", *kind, *workloadName, *scheme)
+
+	// Every point runs to completion even if another fails: the two schemes
+	// of one point share the point's pool slot (CompareParallel at 1) so
+	// distinct points, not scheme pairs, are the unit of fan-out.
+	pool := exec.NewPool(*parallel)
+	rows := make([]string, len(points))
+	errs := make([]error, len(points))
+	var wg sync.WaitGroup
+	for i, p := range points {
+		wg.Add(1)
+		go func(i int, p point) {
+			defer wg.Done()
+			if err := pool.Run(context.Background(), func() error {
+				cfg := base
+				p.mutate(&cfg)
+				rs, err := ptmc.CompareParallel(context.Background(), 1, cfg,
+					ptmc.SchemeUncompressed, *scheme)
+				if err != nil {
+					return err
+				}
+				r := rs[*scheme]
+				b := rs[ptmc.SchemeUncompressed]
+				rows[i] = fmt.Sprintf("%-12s speedup=%.3f ipc=%.3f bw=%.3f llp=%.1f%% mpki=%.1f",
+					p.label, r.WeightedSpeedupOver(b), r.IPC(), r.BandwidthOver(b),
+					100*r.LLPAccuracy, r.MPKI)
+				return nil
+			}); err != nil {
+				errs[i] = fmt.Errorf("%s: %w", p.label, err)
+			}
+		}(i, p)
+	}
+	wg.Wait()
+
+	failed := false
+	for i := range points {
+		if errs[i] == nil {
+			fmt.Println(rows[i])
+		}
+	}
+	for i := range points {
+		if errs[i] != nil {
+			failed = true
+			fmt.Fprintln(os.Stderr, "sweep:", errs[i])
+		}
+	}
+	if failed {
 		os.Exit(1)
 	}
 }

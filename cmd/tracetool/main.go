@@ -8,11 +8,13 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"ptmc"
 	"ptmc/internal/trace"
@@ -127,6 +129,7 @@ func replay(args []string) error {
 	cores := fs.Int("cores", 8, "cores (each replays the trace with its own offset seed)")
 	insts := fs.Int64("insts", 400_000, "measured instructions per core")
 	warmup := fs.Int64("warmup", 400_000, "warmup instructions per core")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent scheme simulations")
 	fs.Parse(args)
 
 	data, err := os.ReadFile(*in)
@@ -160,7 +163,7 @@ func replay(args []string) error {
 	if *baseline && *scheme != ptmc.SchemeUncompressed {
 		schemes = append(schemes, ptmc.SchemeUncompressed)
 	}
-	rs, err := ptmc.Compare(cfg, schemes...)
+	rs, err := ptmc.CompareParallel(context.Background(), *parallel, cfg, schemes...)
 	if err != nil {
 		return err
 	}

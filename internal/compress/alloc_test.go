@@ -1,0 +1,120 @@
+package compress
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"testing"
+)
+
+// allocLines covers every encoder path: all-zero (BDI zeros), repeated
+// 8-byte pattern (BDI rep8), small-delta integers (BDI base-delta), FPC
+// word patterns, and incompressible noise (raw fallback).
+func allocLines() [][]byte {
+	zero := make([]byte, LineSize)
+
+	rep := make([]byte, LineSize)
+	for i := range rep {
+		rep[i] = byte(0xA0 + i%8)
+	}
+
+	delta := make([]byte, LineSize)
+	for i := 0; i < LineSize/8; i++ {
+		binary.LittleEndian.PutUint64(delta[i*8:], 0x1000_0000+uint64(i)*24)
+	}
+
+	fpc := make([]byte, LineSize)
+	for i := 0; i < LineSize/4; i++ {
+		binary.LittleEndian.PutUint32(fpc[i*4:], uint32(int32(-3+i%7)))
+	}
+
+	noise := make([]byte, LineSize)
+	s := uint64(0x9E3779B97F4A7C15)
+	for i := range noise {
+		s = s*6364136223846793005 + 1442695040888963407
+		noise[i] = byte(s >> 56)
+	}
+
+	return [][]byte{zero, rep, delta, fpc, noise}
+}
+
+// TestZeroAllocHotPath pins the writeback/fill hot path at zero heap
+// allocations per line: AppendCompress into a warm buffer and
+// DecompressInto a caller buffer must not allocate for any algorithm on
+// any line class.
+func TestZeroAllocHotPath(t *testing.T) {
+	algs := []Algorithm{FPC{}, BDI{}, Hybrid{}}
+	lines := allocLines()
+	for _, alg := range algs {
+		for li, line := range lines {
+			line := line
+			// Warm buffer sized by one throwaway encode.
+			buf := alg.AppendCompress(nil, line)
+			out := make([]byte, LineSize)
+
+			name := fmt.Sprintf("%s/line%d", alg.Name(), li)
+			if n := testing.AllocsPerRun(200, func() {
+				buf = alg.AppendCompress(buf[:0], line)
+			}); n != 0 {
+				t.Errorf("%s: AppendCompress allocates %.1f/op, want 0", name, n)
+			}
+
+			enc := alg.AppendCompress(nil, line)
+			if n := testing.AllocsPerRun(200, func() {
+				if _, err := alg.DecompressInto(out, enc); err != nil {
+					t.Fatal(err)
+				}
+			}); n != 0 {
+				t.Errorf("%s: DecompressInto allocates %.1f/op, want 0", name, n)
+			}
+			if !bytes.Equal(out, line) {
+				t.Errorf("%s: round-trip mismatch", name)
+			}
+		}
+	}
+}
+
+// TestZeroAllocGroupPath pins the group writeback path: compressing a
+// 2-line or 4-line group into a warm arena and decoding it back into
+// caller buffers allocates nothing.
+func TestZeroAllocGroupPath(t *testing.T) {
+	alg := Hybrid{}
+	lines := allocLines()
+	groups := [][][]byte{
+		{lines[0], lines[2]},
+		{lines[0], lines[1], lines[2], lines[3]},
+	}
+	for gi, group := range groups {
+		group := group
+		budget := LineSize
+		blob, ok := CompressGroup(alg, group, budget)
+		if !ok {
+			t.Fatalf("group %d does not fit %dB", gi, budget)
+		}
+		buf := make([]byte, 0, 2*LineSize)
+		if n := testing.AllocsPerRun(200, func() {
+			if _, ok := AppendCompressGroup(alg, buf[:0], group, budget); !ok {
+				t.Fatal("group stopped fitting")
+			}
+		}); n != 0 {
+			t.Errorf("group %d: AppendCompressGroup allocates %.1f/op, want 0", gi, n)
+		}
+
+		dst := make([][]byte, len(group))
+		for i := range dst {
+			dst[i] = make([]byte, LineSize)
+		}
+		if n := testing.AllocsPerRun(200, func() {
+			if err := DecompressGroupInto(alg, dst, blob, len(group)); err != nil {
+				t.Fatal(err)
+			}
+		}); n != 0 {
+			t.Errorf("group %d: DecompressGroupInto allocates %.1f/op, want 0", gi, n)
+		}
+		for i := range dst {
+			if !bytes.Equal(dst[i], group[i]) {
+				t.Errorf("group %d line %d: round-trip mismatch", gi, i)
+			}
+		}
+	}
+}

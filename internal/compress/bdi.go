@@ -57,55 +57,73 @@ var bdiTryOrder = []int{bdiB8D1, bdiB4D1, bdiB8D2, bdiB2D1, bdiB4D2, bdiB8D4}
 
 // Compress implements Algorithm.
 func (b BDI) Compress(line []byte) []byte {
+	return b.AppendCompress(nil, line)
+}
+
+// AppendCompress implements Algorithm, encoding into dst's spare capacity.
+func (b BDI) AppendCompress(dst, line []byte) []byte {
 	if err := checkLine(line); err != nil {
 		panic(err)
 	}
 	if isAllZero(line) {
-		return []byte{hdrBDI | bdiZeros}
+		return append(dst, hdrBDI|bdiZeros)
 	}
 	if v, ok := repeated8(line); ok {
-		out := make([]byte, 1+8)
-		out[0] = hdrBDI | bdiRep8
-		binary.LittleEndian.PutUint64(out[1:], v)
-		return out
+		var rep [8]byte
+		binary.LittleEndian.PutUint64(rep[:], v)
+		dst = append(dst, hdrBDI|bdiRep8)
+		return append(dst, rep[:]...)
 	}
 	for _, mode := range bdiTryOrder {
-		if enc, ok := bdiEncode(line, mode); ok {
-			return enc
+		if out, ok := bdiAppend(dst, line, mode); ok {
+			return out
 		}
 	}
-	return rawEncode(line)
+	return rawAppend(dst, line)
 }
 
 // Decompress implements Algorithm.
 func (b BDI) Decompress(enc []byte) ([]byte, int, error) {
+	line := make([]byte, LineSize)
+	n, err := b.DecompressInto(line, enc)
+	if err != nil {
+		return nil, 0, err
+	}
+	return line, n, nil
+}
+
+// DecompressInto implements Algorithm, decoding into the 64-byte dst.
+func (b BDI) DecompressInto(dst, enc []byte) (int, error) {
+	if err := checkDst(dst); err != nil {
+		return 0, err
+	}
 	if len(enc) == 0 {
-		return nil, 0, ErrTruncated
+		return 0, ErrTruncated
 	}
 	h := enc[0]
 	if h == hdrRaw {
-		return rawDecode(enc)
+		return rawDecodeInto(dst, enc)
 	}
 	if h&0xF0 != hdrBDI {
-		return nil, 0, ErrBadHeader
+		return 0, ErrBadHeader
 	}
 	mode := int(h & bdiMask)
 	switch mode {
 	case bdiZeros:
-		return make([]byte, LineSize), 1, nil
+		clear(dst)
+		return 1, nil
 	case bdiRep8:
 		if len(enc) < 9 {
-			return nil, 0, ErrTruncated
+			return 0, ErrTruncated
 		}
-		line := make([]byte, LineSize)
 		for i := 0; i < LineSize; i += 8 {
-			copy(line[i:], enc[1:9])
+			copy(dst[i:], enc[1:9])
 		}
-		return line, 9, nil
+		return 9, nil
 	case bdiB8D1, bdiB8D2, bdiB8D4, bdiB4D1, bdiB4D2, bdiB2D1:
-		return bdiDecode(enc, mode)
+		return bdiDecodeInto(dst, enc, mode)
 	default:
-		return nil, 0, ErrBadHeader
+		return 0, ErrBadHeader
 	}
 }
 
@@ -117,24 +135,33 @@ func bdiEncodedLen(mode int) int {
 	return 1 + spec.elemSize + (n+7)/8 + n*spec.deltaSize
 }
 
-// bdiEncode attempts to encode line under the given base-delta mode. The
-// base is the first element not representable as a signed delta from zero;
-// every element must then fit either |e| (zero base) or |e-base| as a signed
-// deltaSize-byte value.
-func bdiEncode(line []byte, mode int) ([]byte, bool) {
+// bdiMaxElems is the largest element count of any mode (b2d1: 32 2-byte
+// elements), sizing the encoder's stack-resident scratch arrays.
+const bdiMaxElems = LineSize / 2
+
+// zeroBytes backs allocation-free zero-fill appends.
+var zeroBytes [1 + LineSize]byte
+
+// bdiAppend attempts to encode line under the given base-delta mode,
+// appending to dst. The base is the first element not representable as a
+// signed delta from zero; every element must then fit either |e| (zero
+// base) or |e-base| as a signed deltaSize-byte value. On failure dst is
+// returned unchanged.
+func bdiAppend(dst, line []byte, mode int) ([]byte, bool) {
 	spec := bdiModes[mode]
 	n := LineSize / spec.elemSize
 	deltaBits := uint(spec.deltaSize * 8)
 
-	elems := make([]uint64, n)
+	var elems [bdiMaxElems]uint64
 	for i := 0; i < n; i++ {
 		elems[i] = loadElem(line[i*spec.elemSize:], spec.elemSize)
 	}
 
 	var base uint64
 	haveBase := false
-	useBase := make([]bool, n)
-	for i, e := range elems {
+	var useBase [bdiMaxElems]bool
+	for i := 0; i < n; i++ {
+		e := elems[i]
 		if fitsSigned64(e, deltaBits, spec.elemSize) {
 			continue // zero-base immediate
 		}
@@ -143,12 +170,15 @@ func bdiEncode(line []byte, mode int) ([]byte, bool) {
 		}
 		d := e - base
 		if !fitsSigned64(d, deltaBits, spec.elemSize) {
-			return nil, false
+			return dst, false
 		}
 		useBase[i] = true
 	}
 
-	out := make([]byte, bdiEncodedLen(mode))
+	total := bdiEncodedLen(mode)
+	start := len(dst)
+	dst = append(dst, zeroBytes[:total]...)
+	out := dst[start:]
 	out[0] = hdrBDI | byte(mode)
 	pos := 1
 	storeElem(out[pos:], base, spec.elemSize)
@@ -168,16 +198,16 @@ func bdiEncode(line []byte, mode int) ([]byte, bool) {
 		storeElem(out[pos:], d, spec.deltaSize)
 		pos += spec.deltaSize
 	}
-	return out, true
+	return dst, true
 }
 
-// bdiDecode reverses bdiEncode.
-func bdiDecode(enc []byte, mode int) ([]byte, int, error) {
+// bdiDecodeInto reverses bdiAppend, writing the line into dst.
+func bdiDecodeInto(dst, enc []byte, mode int) (int, error) {
 	spec := bdiModes[mode]
 	n := LineSize / spec.elemSize
 	total := bdiEncodedLen(mode)
 	if len(enc) < total {
-		return nil, 0, ErrTruncated
+		return 0, ErrTruncated
 	}
 	pos := 1
 	base := loadElem(enc[pos:], spec.elemSize)
@@ -187,7 +217,6 @@ func bdiDecode(enc []byte, mode int) ([]byte, int, error) {
 	pos += maskBytes
 
 	deltaBits := uint(spec.deltaSize * 8)
-	line := make([]byte, LineSize)
 	for i := 0; i < n; i++ {
 		d := signExtend64(loadElem(enc[pos:], spec.deltaSize), deltaBits)
 		pos += spec.deltaSize
@@ -195,9 +224,9 @@ func bdiDecode(enc []byte, mode int) ([]byte, int, error) {
 		if mask[i/8]&(1<<(i%8)) != 0 {
 			e = base + d
 		}
-		storeElem(line[i*spec.elemSize:], e, spec.elemSize)
+		storeElem(dst[i*spec.elemSize:], e, spec.elemSize)
 	}
-	return line, total, nil
+	return total, nil
 }
 
 // loadElem reads a little-endian unsigned value of size 1, 2, 4, or 8 bytes.

@@ -42,6 +42,13 @@ var (
 
 // Algorithm is a per-line compressor. Implementations must round-trip any
 // 64-byte input and report honest encoded sizes.
+//
+// The Append/Into forms are the allocation-free hot path used by the
+// memory-controller writeback and fill loops: AppendCompress writes into
+// caller-provided capacity and DecompressInto decodes into a
+// caller-provided 64-byte buffer, so steady-state (de)compression does no
+// heap allocation. Compress and Decompress are thin allocating wrappers
+// kept for convenience and for offline analyses.
 type Algorithm interface {
 	// Name identifies the algorithm ("fpc", "bdi", "hybrid").
 	Name() string
@@ -52,6 +59,12 @@ type Algorithm interface {
 	// Decompress decodes one line from the front of enc, returning the
 	// 64-byte line and the number of bytes consumed.
 	Decompress(enc []byte) (line []byte, consumed int, err error)
+	// AppendCompress appends the encoding of line to dst and returns the
+	// extended slice. It allocates only when dst lacks capacity.
+	AppendCompress(dst, line []byte) []byte
+	// DecompressInto decodes one line from the front of enc into dst,
+	// which must be LineSize bytes, returning the bytes consumed.
+	DecompressInto(dst, enc []byte) (consumed int, err error)
 }
 
 // CompressedSize returns the encoded size in bytes of line under alg.
@@ -61,19 +74,38 @@ func CompressedSize(alg Algorithm, line []byte) int {
 
 // rawEncode wraps an incompressible line: 1 header byte + 64 raw bytes.
 func rawEncode(line []byte) []byte {
-	out := make([]byte, 1+LineSize)
-	out[0] = hdrRaw
-	copy(out[1:], line)
-	return out
+	return rawAppend(make([]byte, 0, 1+LineSize), line)
+}
+
+// rawAppend is the allocation-free form of rawEncode.
+func rawAppend(dst, line []byte) []byte {
+	dst = append(dst, hdrRaw)
+	return append(dst, line...)
 }
 
 func rawDecode(enc []byte) ([]byte, int, error) {
-	if len(enc) < 1+LineSize {
-		return nil, 0, ErrTruncated
-	}
 	line := make([]byte, LineSize)
-	copy(line, enc[1:1+LineSize])
-	return line, 1 + LineSize, nil
+	n, err := rawDecodeInto(line, enc)
+	if err != nil {
+		return nil, 0, err
+	}
+	return line, n, nil
+}
+
+// rawDecodeInto copies the 64 raw bytes following the header into dst.
+func rawDecodeInto(dst, enc []byte) (int, error) {
+	if len(enc) < 1+LineSize {
+		return 0, ErrTruncated
+	}
+	copy(dst, enc[1:1+LineSize])
+	return 1 + LineSize, nil
+}
+
+func checkDst(dst []byte) error {
+	if len(dst) != LineSize {
+		return fmt.Errorf("%w (DecompressInto dst is %d bytes)", ErrBadLine, len(dst))
+	}
+	return nil
 }
 
 func checkLine(line []byte) error {

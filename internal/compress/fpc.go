@@ -38,10 +38,15 @@ const (
 // bitstream; if the bitstream would not fit a 64-byte budget the caller
 // simply observes len > 64 and falls back (the hybrid does this).
 func (f FPC) Compress(line []byte) []byte {
+	return f.AppendCompress(nil, line)
+}
+
+// AppendCompress implements Algorithm, encoding into dst's spare capacity.
+func (f FPC) AppendCompress(dst, line []byte) []byte {
 	if err := checkLine(line); err != nil {
 		panic(err)
 	}
-	var w bitWriter
+	w := bitWriter{buf: append(dst, hdrFPC)}
 	i := 0
 	for i < fpcNumWords {
 		v := binary.LittleEndian.Uint32(line[i*4:])
@@ -81,71 +86,82 @@ func (f FPC) Compress(line []byte) []byte {
 		}
 		i++
 	}
-	out := make([]byte, 1, 1+len(w.bytes()))
-	out[0] = hdrFPC
-	return append(out, w.bytes()...)
+	return w.bytes()
 }
 
 // Decompress implements Algorithm.
 func (f FPC) Decompress(enc []byte) ([]byte, int, error) {
+	line := make([]byte, LineSize)
+	n, err := f.DecompressInto(line, enc)
+	if err != nil {
+		return nil, 0, err
+	}
+	return line, n, nil
+}
+
+// DecompressInto implements Algorithm, decoding into the 64-byte dst.
+func (f FPC) DecompressInto(dst, enc []byte) (int, error) {
+	if err := checkDst(dst); err != nil {
+		return 0, err
+	}
 	if len(enc) == 0 {
-		return nil, 0, ErrTruncated
+		return 0, ErrTruncated
 	}
 	if enc[0] == hdrRaw {
-		return rawDecode(enc)
+		return rawDecodeInto(dst, enc)
 	}
 	if enc[0] != hdrFPC {
-		return nil, 0, ErrBadHeader
+		return 0, ErrBadHeader
 	}
+	clear(dst) // zero-run prefixes skip their words
 	r := bitReader{buf: enc[1:]}
-	line := make([]byte, LineSize)
 	i := 0
 	for i < fpcNumWords {
 		prefix, ok := r.readBits(3)
 		if !ok {
-			return nil, 0, ErrTruncated
+			return 0, ErrTruncated
 		}
 		var v uint32
 		switch prefix {
 		case fpcZeroRun:
 			runM1, ok := r.readBits(3)
 			if !ok {
-				return nil, 0, ErrTruncated
+				return 0, ErrTruncated
 			}
 			run := int(runM1) + 1
 			if i+run > fpcNumWords {
-				return nil, 0, ErrTruncated
+				return 0, ErrTruncated
 			}
 			i += run // words already zero
 			continue
 		case fpcSign4:
 			p, ok := r.readBits(4)
 			if !ok {
-				return nil, 0, ErrTruncated
+				return 0, ErrTruncated
 			}
 			v = signExtend(p, 4)
 		case fpcSign8:
 			p, ok := r.readBits(8)
 			if !ok {
-				return nil, 0, ErrTruncated
+				return 0, ErrTruncated
 			}
 			v = signExtend(p, 8)
 		case fpcSign16:
 			p, ok := r.readBits(16)
 			if !ok {
-				return nil, 0, ErrTruncated
+				return 0, ErrTruncated
 			}
 			v = signExtend(p, 16)
 		case fpcHighPad:
 			p, ok := r.readBits(16)
 			if !ok {
-				return nil, 0, ErrTruncated
+				return 0, ErrTruncated
 			}
 			v = p << 16
 		case fpcTwoHalf:
 			p, ok := r.readBits(16)
 			if !ok {
-				return nil, 0, ErrTruncated
+				return 0, ErrTruncated
 			}
 			hi := signExtend(p>>8, 8)
 			lo := signExtend(p&0xFF, 8)
@@ -153,20 +169,20 @@ func (f FPC) Decompress(enc []byte) ([]byte, int, error) {
 		case fpcRepByte:
 			p, ok := r.readBits(8)
 			if !ok {
-				return nil, 0, ErrTruncated
+				return 0, ErrTruncated
 			}
 			v = p | p<<8 | p<<16 | p<<24
 		case fpcUncomp:
 			p, ok := r.readBits(32)
 			if !ok {
-				return nil, 0, ErrTruncated
+				return 0, ErrTruncated
 			}
 			v = p
 		}
-		binary.LittleEndian.PutUint32(line[i*4:], v)
+		binary.LittleEndian.PutUint32(dst[i*4:], v)
 		i++
 	}
-	return line, 1 + r.bytesConsumed(), nil
+	return 1 + r.bytesConsumed(), nil
 }
 
 // isTwoHalfwords reports whether each 16-bit half of v sign-extends from a

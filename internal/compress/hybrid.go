@@ -15,32 +15,56 @@ func (Hybrid) Name() string { return "hybrid" }
 // Compress implements Algorithm: both algorithms run and the smaller
 // encoding wins; incompressible lines fall back to the 65-byte raw form.
 func (h Hybrid) Compress(line []byte) []byte {
-	f := h.fpc.Compress(line)
-	b := h.bdi.Compress(line)
-	best := f
-	if len(b) < len(best) {
-		best = b
+	return h.AppendCompress(nil, line)
+}
+
+// AppendCompress implements Algorithm. Both candidate encodings are
+// written into dst's spare capacity back to back, then the loser is
+// discarded in place, so picking the winner costs no allocation.
+func (h Hybrid) AppendCompress(dst, line []byte) []byte {
+	start := len(dst)
+	dst = h.fpc.AppendCompress(dst, line)
+	fpcEnd := len(dst)
+	dst = h.bdi.AppendCompress(dst, line)
+	if bdiLen := len(dst) - fpcEnd; bdiLen < fpcEnd-start {
+		copy(dst[start:], dst[fpcEnd:])
+		dst = dst[:start+bdiLen]
+	} else {
+		dst = dst[:fpcEnd]
 	}
-	if len(best) > 1+LineSize {
-		return rawEncode(line)
+	if len(dst)-start > 1+LineSize {
+		return rawAppend(dst[:start], line)
 	}
-	return best
+	return dst
 }
 
 // Decompress implements Algorithm, dispatching on the header byte.
 func (h Hybrid) Decompress(enc []byte) ([]byte, int, error) {
+	line := make([]byte, LineSize)
+	n, err := h.DecompressInto(line, enc)
+	if err != nil {
+		return nil, 0, err
+	}
+	return line, n, nil
+}
+
+// DecompressInto implements Algorithm, dispatching on the header byte.
+func (h Hybrid) DecompressInto(dst, enc []byte) (int, error) {
+	if err := checkDst(dst); err != nil {
+		return 0, err
+	}
 	if len(enc) == 0 {
-		return nil, 0, ErrTruncated
+		return 0, ErrTruncated
 	}
 	switch {
 	case enc[0] == hdrRaw:
-		return rawDecode(enc)
+		return rawDecodeInto(dst, enc)
 	case enc[0] == hdrFPC:
-		return h.fpc.Decompress(enc)
+		return h.fpc.DecompressInto(dst, enc)
 	case enc[0]&0xF0 == hdrBDI:
-		return h.bdi.Decompress(enc)
+		return h.bdi.DecompressInto(dst, enc)
 	default:
-		return nil, 0, ErrBadHeader
+		return 0, ErrBadHeader
 	}
 }
 
@@ -49,27 +73,45 @@ func (h Hybrid) Decompress(enc []byte) ([]byte, int, error) {
 // budget: 64 minus the 4-byte marker). On success the returned blob is the
 // concatenation of self-delimiting per-line encodings, in order.
 func CompressGroup(alg Algorithm, lines [][]byte, budget int) ([]byte, bool) {
-	var blob []byte
+	return AppendCompressGroup(alg, nil, lines, budget)
+}
+
+// AppendCompressGroup is the allocation-free form of CompressGroup: the
+// blob is appended to dst's spare capacity and returned as the extension
+// of dst. When the group does not fit the budget, dst is rolled back to
+// its original length and returned with ok=false.
+func AppendCompressGroup(alg Algorithm, dst []byte, lines [][]byte, budget int) ([]byte, bool) {
+	start := len(dst)
 	for _, l := range lines {
-		enc := alg.Compress(l)
-		blob = append(blob, enc...)
-		if len(blob) > budget {
-			return nil, false
+		dst = alg.AppendCompress(dst, l)
+		if len(dst)-start > budget {
+			return dst[:start], false
 		}
 	}
-	return blob, true
+	return dst, true
 }
 
 // DecompressGroup decodes n concatenated per-line encodings from blob.
 func DecompressGroup(alg Algorithm, blob []byte, n int) ([][]byte, error) {
-	lines := make([][]byte, 0, n)
-	for i := 0; i < n; i++ {
-		line, consumed, err := alg.Decompress(blob)
-		if err != nil {
-			return nil, err
-		}
-		lines = append(lines, line)
-		blob = blob[consumed:]
+	lines := make([][]byte, n)
+	for i := range lines {
+		lines[i] = make([]byte, LineSize)
+	}
+	if err := DecompressGroupInto(alg, lines, blob, n); err != nil {
+		return nil, err
 	}
 	return lines, nil
+}
+
+// DecompressGroupInto decodes n concatenated per-line encodings from blob
+// into the caller-provided 64-byte buffers dst[0..n-1].
+func DecompressGroupInto(alg Algorithm, dst [][]byte, blob []byte, n int) error {
+	for i := 0; i < n; i++ {
+		consumed, err := alg.DecompressInto(dst[i], blob)
+		if err != nil {
+			return err
+		}
+		blob = blob[consumed:]
+	}
+	return nil
 }

@@ -1,0 +1,198 @@
+// Package exec is the concurrent experiment engine shared by the paper
+// harness and the CLI tools. It provides three pieces:
+//
+//   - Pool: a bounded worker pool (default size GOMAXPROCS) that caps how
+//     many simulations run at once, however many goroutines submit work;
+//   - Cache: a singleflight-deduplicated, mutex-guarded memoization table,
+//     so concurrent requests for the same key execute the computation
+//     exactly once and everyone shares the result;
+//   - Pool.ForEach: a deterministic fan-out helper that runs an indexed
+//     job set over the pool and cancels the remainder on first error.
+//
+// The simulations themselves are embarrassingly parallel (every sim.Run
+// builds its own memory image, caches, and seeded streams), so the engine
+// only has to bound concurrency and deduplicate shared runs — it never
+// needs to synchronize inside a simulation.
+package exec
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// Pool bounds the number of jobs executing concurrently. The zero Pool is
+// not usable; construct with NewPool.
+type Pool struct {
+	sem chan struct{}
+}
+
+// NewPool returns a pool running at most n jobs at once; n <= 0 selects
+// runtime.GOMAXPROCS(0), i.e. one job per available CPU.
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{sem: make(chan struct{}, n)}
+}
+
+// Size reports the worker count.
+func (p *Pool) Size() int { return cap(p.sem) }
+
+// acquire blocks until a worker slot frees up or ctx is cancelled.
+func (p *Pool) acquire(ctx context.Context) error {
+	select {
+	case p.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (p *Pool) release() { <-p.sem }
+
+// Run executes fn on the pool, blocking until a slot is free. It returns
+// ctx's error without running fn if the context is cancelled first.
+func (p *Pool) Run(ctx context.Context, fn func() error) error {
+	if err := p.acquire(ctx); err != nil {
+		return err
+	}
+	defer p.release()
+	return fn()
+}
+
+// ForEach runs fn(ctx, i) for every i in [0, n) on the pool. The first
+// failure cancels the context handed to the remaining jobs (jobs already
+// executing run to completion — simulations are not interruptible — but
+// queued jobs abort before starting). The returned error is deterministic
+// regardless of completion order: the lowest-index real failure, falling
+// back to the lowest-index cancellation.
+func (p *Pool) ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		if err := p.acquire(ctx); err != nil {
+			errs[i] = err
+			break
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer p.release()
+			if err := fn(ctx, i); err != nil {
+				errs[i] = err
+				cancel()
+			}
+		}(i)
+	}
+	wg.Wait()
+	return FirstError(errs)
+}
+
+// FirstError returns the lowest-index non-cancellation error in errs,
+// falling back to the lowest-index cancellation, or nil. It is the
+// deterministic error-selection rule used throughout the engine: whatever
+// order parallel jobs finish in, the reported error is the one the serial
+// loop would have hit first.
+func FirstError(errs []error) error {
+	var fallback error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, context.Canceled) {
+			return err
+		}
+		if fallback == nil {
+			fallback = err
+		}
+	}
+	return fallback
+}
+
+// flight is one in-progress or completed computation.
+type flight[V any] struct {
+	done chan struct{} // closed when val/err are final
+	val  V
+	err  error
+}
+
+// Cache memoizes computations by string key. Concurrent Do calls for the
+// same key collapse into a single execution (singleflight): one caller
+// becomes the leader and runs the function on the pool; the rest block
+// until the leader finishes and then share its result. Successful results
+// are cached forever; failures are forgotten so a later call may retry.
+type Cache[V any] struct {
+	pool *Pool
+	mu   sync.Mutex
+	m    map[string]*flight[V]
+}
+
+// NewCache returns an empty cache executing its computations on pool.
+func NewCache[V any](pool *Pool) *Cache[V] {
+	return &Cache[V]{pool: pool, m: make(map[string]*flight[V])}
+}
+
+// Cached returns the stored value for key without computing anything.
+func (c *Cache[V]) Cached(key string) (V, bool) {
+	c.mu.Lock()
+	f, ok := c.m[key]
+	c.mu.Unlock()
+	if !ok {
+		return *new(V), false
+	}
+	select {
+	case <-f.done:
+		if f.err != nil {
+			return *new(V), false
+		}
+		return f.val, true
+	default:
+		return *new(V), false
+	}
+}
+
+// Do returns the value for key, computing it with fn at most once across
+// all concurrent callers. ran reports whether this call executed fn (false
+// for cache hits and for waiters that joined an in-flight computation).
+// The leader holds a pool slot while fn runs; waiters hold none, so a
+// thousand goroutines asking for the same key cost one worker.
+func (c *Cache[V]) Do(ctx context.Context, key string, fn func() (V, error)) (v V, ran bool, err error) {
+	c.mu.Lock()
+	if f, ok := c.m[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.val, false, f.err
+		case <-ctx.Done():
+			return *new(V), false, ctx.Err()
+		}
+	}
+	f := &flight[V]{done: make(chan struct{})}
+	c.m[key] = f
+	c.mu.Unlock()
+
+	if err := c.pool.acquire(ctx); err != nil {
+		f.err = err
+		c.forget(key)
+		close(f.done)
+		return *new(V), false, err
+	}
+	f.val, f.err = fn()
+	c.pool.release()
+	if f.err != nil {
+		c.forget(key)
+	}
+	close(f.done)
+	return f.val, true, f.err
+}
+
+// forget removes a failed flight so the next Do retries it.
+func (c *Cache[V]) forget(key string) {
+	c.mu.Lock()
+	delete(c.m, key)
+	c.mu.Unlock()
+}

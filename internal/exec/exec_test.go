@@ -1,0 +1,166 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	p := NewPool(3)
+	var cur, max atomic.Int32
+	err := p.ForEach(context.Background(), 32, func(ctx context.Context, i int) error {
+		n := cur.Add(1)
+		for {
+			m := max.Load()
+			if n <= m || max.CompareAndSwap(m, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := max.Load(); got > 3 {
+		t.Errorf("observed %d concurrent jobs, pool size 3", got)
+	}
+}
+
+func TestPoolDefaultSize(t *testing.T) {
+	if NewPool(0).Size() < 1 {
+		t.Error("default pool must have at least one worker")
+	}
+	if NewPool(7).Size() != 7 {
+		t.Error("explicit pool size not honored")
+	}
+}
+
+func TestForEachFirstErrorIsDeterministic(t *testing.T) {
+	p := NewPool(8)
+	// Fail several indices; whatever order they complete in, the reported
+	// error must be the lowest failing index.
+	for trial := 0; trial < 20; trial++ {
+		err := p.ForEach(context.Background(), 16, func(ctx context.Context, i int) error {
+			if i%5 == 3 { // fails at 3, 8, 13
+				return fmt.Errorf("job %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "job 3 failed" {
+			t.Fatalf("trial %d: got %v, want job 3 failed", trial, err)
+		}
+	}
+}
+
+func TestForEachCancelsQueuedJobs(t *testing.T) {
+	p := NewPool(1)
+	var started atomic.Int32
+	err := p.ForEach(context.Background(), 100, func(ctx context.Context, i int) error {
+		started.Add(1)
+		return errors.New("boom")
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if n := started.Load(); n == 100 {
+		t.Error("cancellation should stop queued jobs from starting")
+	}
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	p := NewPool(8)
+	c := NewCache[int](p)
+	var computed atomic.Int32
+	var ranCount atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < 64; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, ran, err := c.Do(context.Background(), "k", func() (int, error) {
+				computed.Add(1)
+				time.Sleep(2 * time.Millisecond)
+				return 42, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("Do = %d, %v", v, err)
+			}
+			if ran {
+				ranCount.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if computed.Load() != 1 {
+		t.Errorf("computed %d times, want exactly 1", computed.Load())
+	}
+	if ranCount.Load() != 1 {
+		t.Errorf("%d callers reported ran=true, want exactly 1", ranCount.Load())
+	}
+	if v, ok := c.Cached("k"); !ok || v != 42 {
+		t.Errorf("Cached = %d, %v", v, ok)
+	}
+}
+
+func TestCacheErrorsAreRetried(t *testing.T) {
+	p := NewPool(1)
+	c := NewCache[int](p)
+	calls := 0
+	_, _, err := c.Do(context.Background(), "k", func() (int, error) {
+		calls++
+		return 0, errors.New("transient")
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	v, ran, err := c.Do(context.Background(), "k", func() (int, error) {
+		calls++
+		return 7, nil
+	})
+	if err != nil || v != 7 || !ran {
+		t.Fatalf("retry: v=%d ran=%v err=%v", v, ran, err)
+	}
+	if calls != 2 {
+		t.Errorf("calls = %d, want 2 (errors must not be cached)", calls)
+	}
+}
+
+func TestCacheWaiterHonorsContext(t *testing.T) {
+	p := NewPool(1)
+	c := NewCache[int](p)
+	release := make(chan struct{})
+	go c.Do(context.Background(), "slow", func() (int, error) {
+		<-release
+		return 1, nil
+	})
+	// Give the leader a moment to claim the flight.
+	time.Sleep(5 * time.Millisecond)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := c.Do(ctx, "slow", func() (int, error) { return 2, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("waiter error = %v, want context.Canceled", err)
+	}
+	close(release)
+}
+
+func TestFirstErrorPrefersRealFailures(t *testing.T) {
+	boom := errors.New("boom")
+	errs := []error{nil, context.Canceled, boom, nil}
+	if got := FirstError(errs); !errors.Is(got, boom) {
+		t.Errorf("FirstError = %v, want boom over earlier cancellation", got)
+	}
+	if got := FirstError([]error{nil, context.Canceled}); !errors.Is(got, context.Canceled) {
+		t.Errorf("FirstError = %v, want cancellation fallback", got)
+	}
+	if got := FirstError([]error{nil, nil}); got != nil {
+		t.Errorf("FirstError = %v, want nil", got)
+	}
+}

@@ -2,7 +2,6 @@ package memctrl
 
 import (
 	"ptmc/internal/cache"
-	"ptmc/internal/compress"
 	"ptmc/internal/core"
 	"ptmc/internal/mem"
 )
@@ -36,6 +35,10 @@ type storeUnit struct {
 // true), and emit the storage units to write. Returned evictees include
 // every line whose memory state this eviction touches.
 func (b *base) planEviction(e cache.Entry, compressing bool, budget int) ([]storeUnit, []evictee) {
+	// Reset the compression arena: blobs of the previous eviction have been
+	// sealed and written by now, so their bytes can be reclaimed.
+	b.scr.groupBuf = b.scr.groupBuf[:0]
+
 	x := evictee{addr: e.Tag, dirty: e.Dirty, oldLevel: e.Level}
 
 	// Gang eviction: the old unit leaves the LLC together.
@@ -70,14 +73,14 @@ func (b *base) planEviction(e cache.Entry, compressing bool, budget int) ([]stor
 		}
 		u := storeUnit{home: oldHome, level: x.oldLevel, anyDirty: anyDirty, unchanged: !anyDirty}
 		members := core.MembersAt(oldHome, x.oldLevel)
-		lines := make([][]byte, 0, len(members))
+		lines := b.scr.lines[:0]
 		for _, m := range members {
 			u.members = append(u.members, set[m])
 			lines = append(lines, b.archLine(m))
 		}
 		fits := true
 		if anyDirty {
-			u.blob, fits = compress.CompressGroup(b.alg, lines, budget)
+			u.blob, fits = b.compressGroup(lines, budget)
 		}
 		if fits {
 			evictees := make([]evictee, 0, len(set))
@@ -123,20 +126,20 @@ func (b *base) planEviction(e cache.Entry, compressing bool, budget int) ([]stor
 
 	// Try 4:1 across the whole group.
 	if compressing {
-		evs := make([]evictee, 0, 4)
-		lines := make([][]byte, 0, 4)
+		var evs [4]evictee
+		lines := b.scr.lines[:0]
 		ok := true
-		for _, m := range group {
+		for i, m := range group {
 			ev, avail := available(m)
 			if !avail {
 				ok = false
 				break
 			}
-			evs = append(evs, ev)
+			evs[i] = ev
 			lines = append(lines, b.archLine(m))
 		}
 		if ok {
-			if blob, fits := compress.CompressGroup(b.alg, lines, budget); fits {
+			if blob, fits := b.compressGroup(lines, budget); fits {
 				u := storeUnit{home: group[0], level: cache.Comp4, blob: blob}
 				for i := range evs {
 					evs[i] = pull(evs[i])
@@ -164,8 +167,8 @@ func (b *base) planEviction(e cache.Entry, compressing bool, budget int) ([]stor
 			ev0, a0 := available(p0)
 			ev1, a1 := available(p1)
 			if a0 && a1 {
-				blob, fits := compress.CompressGroup(b.alg,
-					[][]byte{b.archLine(p0), b.archLine(p1)}, budget)
+				lines := append(b.scr.lines[:0], b.archLine(p0), b.archLine(p1))
+				blob, fits := b.compressGroup(lines, budget)
 				if fits {
 					ev0, ev1 = pull(ev0), pull(ev1)
 					units = append(units, storeUnit{

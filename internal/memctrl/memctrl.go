@@ -145,6 +145,9 @@ type base struct {
 
 	decompLat int64 // decompression latency in CPU cycles
 
+	// scr is the controller's compression scratch arena; see type scratch.
+	scr scratch
+
 	// inflightReads coalesces concurrent reads of the same DRAM location:
 	// one burst serves every waiter. This is what turns a compressed
 	// group into real bandwidth savings even when all of its members miss
@@ -242,6 +245,52 @@ func (b *base) Tick(now int64) {
 		b.retry = b.retry[1:]
 	}
 	b.d.Tick(now)
+}
+
+// scratch is the per-controller compression arena. The simulator drives
+// each controller from a single goroutine and every blob or decoded line
+// is consumed (sealed + written to the image, or installed in the LLC)
+// before the next eviction or fill reuses the arena, so the hot
+// compress/decompress paths run with zero heap allocations:
+//
+//   - groupBuf backs every CompressGroup encoding of one eviction; it is
+//     reset (length, not capacity) at the start of each planEviction and
+//     grows once to the eviction's worst case, after which writebacks
+//     allocate nothing;
+//   - lineBuf/lineRefs receive group decodes on the fill path
+//     (DecompressGroupInto), replacing four make([]byte, 64) per
+//     compressed fill.
+type scratch struct {
+	groupBuf []byte
+	lineBuf  [4][compress.LineSize]byte
+	lineRefs [4][]byte
+	lines    [4][]byte // gathers input line refs for CompressGroup
+}
+
+// decodeGroup decompresses an n-member unit into the scratch line buffers.
+// The returned slices alias the arena and are valid until the next
+// decodeGroup call on this controller.
+func (b *base) decodeGroup(blob []byte, n int) ([][]byte, error) {
+	for i := 0; i < n; i++ {
+		b.scr.lineRefs[i] = b.scr.lineBuf[i][:]
+	}
+	if err := compress.DecompressGroupInto(b.alg, b.scr.lineRefs[:n], blob, n); err != nil {
+		return nil, err
+	}
+	return b.scr.lineRefs[:n], nil
+}
+
+// compressGroup encodes lines into the arena within budget; the returned
+// blob aliases the arena and stays valid for the rest of this eviction
+// (the arena is only reset by the next planEviction).
+func (b *base) compressGroup(lines [][]byte, budget int) ([]byte, bool) {
+	start := len(b.scr.groupBuf)
+	grown, fits := compress.AppendCompressGroup(b.alg, b.scr.groupBuf, lines, budget)
+	b.scr.groupBuf = grown
+	if !fits {
+		return nil, false
+	}
+	return grown[start:], true
 }
 
 // archLine returns the architectural (ground-truth) value of a line.

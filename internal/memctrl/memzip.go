@@ -45,9 +45,12 @@ func NewMemZip(d *dram.DRAM, img, arch *mem.Store, llc LLC,
 // Meta exposes the metadata table (hit-rate reporting).
 func (z *MemZip) Meta() *metadata.Table { return z.meta }
 
-// lineBeats compresses a line's current value into its burst length.
+// lineBeats compresses a line's current value into its burst length. The
+// encoding lands in the scratch arena (only its length matters here), so
+// the per-writeback compression allocates nothing.
 func (z *MemZip) lineBeats(a mem.LineAddr) int {
-	enc := z.alg.Compress(z.arch.Read(a))
+	enc := z.alg.AppendCompress(z.scr.groupBuf[:0], z.arch.Read(a))
+	z.scr.groupBuf = enc[:0]
 	beats := (len(enc) + 7) / 8
 	if beats > 8 {
 		beats = 8

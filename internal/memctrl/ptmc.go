@@ -2,7 +2,6 @@ package memctrl
 
 import (
 	"ptmc/internal/cache"
-	"ptmc/internal/compress"
 	"ptmc/internal/core"
 	"ptmc/internal/dram"
 	"ptmc/internal/mem"
@@ -324,7 +323,7 @@ func (p *PTMC) fillCompressed(core_ int, a, home mem.LineAddr, level cache.Level
 	data []byte, counted, firstTry bool, now int64, done Done) {
 
 	members := core.MembersAt(home, level)
-	lines, err := compress.DecompressGroup(p.alg, data[:core.CompressedBudget], len(members))
+	lines, err := p.decodeGroup(data[:core.CompressedBudget], len(members))
 	if err != nil {
 		p.st.IntegrityErrs++
 		p.fillUncompressed(core_, a, p.arch.Read(a), counted, false, now, done)

@@ -2,7 +2,6 @@ package memctrl
 
 import (
 	"ptmc/internal/cache"
-	"ptmc/internal/compress"
 	"ptmc/internal/core"
 	"ptmc/internal/dram"
 	"ptmc/internal/mem"
@@ -80,7 +79,7 @@ func (t *TableTMC) fill(core_ int, a, home mem.LineAddr, level cache.Level, now 
 		done(now)
 		return
 	}
-	lines, err := compress.DecompressGroup(t.alg, t.img.Read(home), len(members))
+	lines, err := t.decodeGroup(t.img.Read(home), len(members))
 	if err != nil {
 		t.st.IntegrityErrs++
 		t.install(core_, a, false, false, level, now)

@@ -1,6 +1,7 @@
 package paper
 
 import (
+	"context"
 	"fmt"
 
 	"ptmc/internal/compress"
@@ -18,6 +19,9 @@ func (r *Runner) Figure4() error {
 	r.header("Figure 4: bandwidth of Table-TMC, normalized to uncompressed")
 	fmt.Fprintf(r.Out, "%-14s %8s %8s %8s %8s\n", "workload", "data", "extraWr", "metadata", "total")
 	wls := append(append([]string{}, r.Opts.spec()...), r.Opts.graph()...)
+	if err := r.Prefetch(jobsFor(wls, sim.SchemeUncompressed, sim.SchemeTableTMC)...); err != nil {
+		return err
+	}
 	for _, wl := range wls {
 		base, err := r.Result(wl, sim.SchemeUncompressed, "", nil)
 		if err != nil {
@@ -44,6 +48,9 @@ func (r *Runner) Figure5() error {
 	r.header("Figure 5: speedup of Ideal TMC vs TMC-with-metadata")
 	fmt.Fprintf(r.Out, "%-14s %10s %10s\n", "workload", "ideal", "table-tmc")
 	wls := append(append([]string{}, r.Opts.spec()...), r.Opts.graph()...)
+	if err := r.Prefetch(jobsFor(wls, sim.SchemeUncompressed, sim.SchemeIdeal, sim.SchemeTableTMC)...); err != nil {
+		return err
+	}
 	var ideals, tables []float64
 	for _, wl := range wls {
 		si, err := r.speedup(wl, sim.SchemeIdeal)
@@ -72,9 +79,12 @@ func (r *Runner) Figure6() error {
 	fmt.Fprintf(r.Out, "%-14s %10s %10s\n", "workload", "to-64B", "to-60B")
 	alg := compress.Hybrid{}
 	wls := append(append([]string{}, r.Opts.spec()...), r.Opts.graph()...)
-	var v64s, v60s []float64
-	for _, wl := range wls {
-		w, err := workload.Lookup(wl)
+	// The offline pair scan is CPU-bound with no shared state, so each
+	// workload's row computes in parallel; rows print in workload order
+	// afterwards so the report bytes match a serial run.
+	v64s, v60s := make([]float64, len(wls)), make([]float64, len(wls))
+	err := r.pool.ForEach(context.Background(), len(wls), func(ctx context.Context, i int) error {
+		w, err := workload.Lookup(wls[i])
 		if err != nil {
 			return err
 		}
@@ -82,22 +92,29 @@ func (r *Runner) Figure6() error {
 		const pairs = 4000
 		fit64, fit60 := 0, 0
 		l0, l1 := make([]byte, 64), make([]byte, 64)
-		for i := 0; i < pairs; i++ {
-			vline := uint64(i) * 2
+		pair := [][]byte{l0, l1}
+		var buf []byte
+		var ok bool
+		for p := 0; p < pairs; p++ {
+			vline := uint64(p) * 2
 			s.FillLine(vline, l0)
 			s.FillLine(vline+1, l1)
-			if _, ok := compress.CompressGroup(alg, [][]byte{l0, l1}, 64); ok {
+			if buf, ok = compress.AppendCompressGroup(alg, buf[:0], pair, 64); ok {
 				fit64++
 			}
-			if _, ok := compress.CompressGroup(alg, [][]byte{l0, l1}, 60); ok {
+			if buf, ok = compress.AppendCompressGroup(alg, buf[:0], pair, 60); ok {
 				fit60++
 			}
 		}
-		v64 := float64(fit64) / pairs
-		v60 := float64(fit60) / pairs
-		v64s = append(v64s, v64)
-		v60s = append(v60s, v60)
-		fmt.Fprintf(r.Out, "%-14s %9.1f%% %9.1f%%\n", wl, 100*v64, 100*v60)
+		v64s[i] = float64(fit64) / pairs
+		v60s[i] = float64(fit60) / pairs
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, wl := range wls {
+		fmt.Fprintf(r.Out, "%-14s %9.1f%% %9.1f%%\n", wl, 100*v64s[i], 100*v60s[i])
 	}
 	a64, a60 := 0.0, 0.0
 	for i := range v64s {
@@ -116,6 +133,9 @@ func (r *Runner) Figure9() error {
 	r.header("Figure 9: metadata-cache hit rate vs LLP accuracy")
 	fmt.Fprintf(r.Out, "%-14s %10s %10s\n", "workload", "mcache", "LLP")
 	wls := append(append([]string{}, r.Opts.spec()...), r.Opts.graph()...)
+	if err := r.Prefetch(jobsFor(wls, sim.SchemeTableTMC, sim.SchemePTMC)...); err != nil {
+		return err
+	}
 	var mc, llp []float64
 	for _, wl := range wls {
 		tt, err := r.Result(wl, sim.SchemeTableTMC, "", nil)
@@ -148,6 +168,9 @@ func (r *Runner) Figure12() error {
 	r.header("Figure 12: speedup of Table-TMC vs PTMC (inline metadata + LLP)")
 	fmt.Fprintf(r.Out, "%-14s %10s %10s\n", "workload", "table-tmc", "ptmc")
 	wls := r.figure12Set()
+	if err := r.Prefetch(jobsFor(wls, sim.SchemeUncompressed, sim.SchemeTableTMC, sim.SchemePTMC)...); err != nil {
+		return err
+	}
 	var ts, ps []float64
 	for _, wl := range wls {
 		st, err := r.speedup(wl, sim.SchemeTableTMC)
@@ -179,6 +202,9 @@ func (r *Runner) Figure14() error {
 	r.header("Figure 14: bandwidth of PTMC, normalized to uncompressed")
 	fmt.Fprintf(r.Out, "%-14s %8s %10s %10s %8s\n", "workload", "data", "clean+inv", "mispredict", "total")
 	wls := append(append([]string{}, r.Opts.spec()...), r.Opts.graph()...)
+	if err := r.Prefetch(jobsFor(wls, sim.SchemeUncompressed, sim.SchemePTMC)...); err != nil {
+		return err
+	}
 	for _, wl := range wls {
 		base, err := r.Result(wl, sim.SchemeUncompressed, "", nil)
 		if err != nil {
@@ -209,6 +235,9 @@ func (r *Runner) Figure15() error {
 	wls := r.figure12Set()
 	per := map[string][]float64{}
 	schemes := []string{sim.SchemeTableTMC, sim.SchemePTMC, sim.SchemeDynamicPTMC, sim.SchemeIdeal}
+	if err := r.Prefetch(jobsFor(wls, append([]string{sim.SchemeUncompressed}, schemes...)...)...); err != nil {
+		return err
+	}
 	for _, wl := range wls {
 		row := make([]float64, len(schemes))
 		for i, sch := range schemes {
@@ -233,6 +262,9 @@ func (r *Runner) Figure15() error {
 // is flat at 1.0 on the left and rises to ~1.7 on the right.
 func (r *Runner) Figure17() error {
 	r.header("Figure 17: Dynamic-PTMC speedup across workloads, sorted")
+	if err := r.Prefetch(jobsFor(r.Opts.all(), sim.SchemeUncompressed, sim.SchemeDynamicPTMC)...); err != nil {
+		return err
+	}
 	var vs []float64
 	for _, wl := range r.Opts.all() {
 		s, err := r.speedup(wl, sim.SchemeDynamicPTMC)
@@ -258,6 +290,9 @@ func (r *Runner) Figure18() error {
 	fmt.Fprintf(r.Out, "%-14s %8s %8s %8s %8s\n", "workload", "speedup", "power", "energy", "EDP")
 	var sp, pw, en, ed []float64
 	wls := r.figure12Set()
+	if err := r.Prefetch(jobsFor(wls, sim.SchemeUncompressed, sim.SchemeDynamicPTMC)...); err != nil {
+		return err
+	}
 	for _, wl := range wls {
 		base, err := r.Result(wl, sim.SchemeUncompressed, "", nil)
 		if err != nil {
@@ -285,6 +320,16 @@ func (r *Runner) LLPAblation(sizes []int) error {
 	r.header("Ablation: LLP size sweep")
 	fmt.Fprintf(r.Out, "%8s %10s %10s\n", "entries", "accuracy", "speedup")
 	wl := r.Opts.spec()[0]
+	jobs := []Job{{Workload: wl, Scheme: sim.SchemeUncompressed}}
+	for _, n := range sizes {
+		n := n
+		jobs = append(jobs, Job{Workload: wl, Scheme: sim.SchemePTMC,
+			Variant: fmt.Sprintf("llp%d", n),
+			Mutate:  func(c *sim.Config) { c.LLPEntries = n }})
+	}
+	if err := r.Prefetch(jobs...); err != nil {
+		return err
+	}
 	base, err := r.Result(wl, sim.SchemeUncompressed, "", nil)
 	if err != nil {
 		return err
@@ -325,6 +370,10 @@ func (r *Runner) RelatedWork() error {
 	r.header("Related work: MemZip vs Table-TMC vs Dynamic-PTMC")
 	fmt.Fprintf(r.Out, "%-14s %8s %10s %12s\n", "workload", "memzip", "table-tmc", "dynamic-ptmc")
 	wls := append(append([]string{}, r.Opts.spec()...), r.Opts.graph()...)
+	if err := r.Prefetch(jobsFor(wls, sim.SchemeUncompressed, sim.SchemeMemZip,
+		sim.SchemeTableTMC, sim.SchemeDynamicPTMC)...); err != nil {
+		return err
+	}
 	var mz, tt, dp []float64
 	for _, wl := range wls {
 		a, err := r.speedup(wl, sim.SchemeMemZip)

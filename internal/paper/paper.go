@@ -11,11 +11,14 @@
 package paper
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
+	"sync"
 
+	"ptmc/internal/exec"
 	"ptmc/internal/sim"
 	"ptmc/internal/stats"
 	"ptmc/internal/workload"
@@ -110,16 +113,58 @@ func (o *Options) all() []string {
 	return workload.Names()
 }
 
-// Runner executes experiments against a result cache.
+// Runner executes experiments against a shared, goroutine-safe result
+// cache. Simulations fan out over a bounded worker pool (see Prefetch);
+// concurrent requests for the same (workload, scheme, variant) key are
+// singleflight-deduplicated so each simulation runs exactly once per
+// process, however many artifacts or goroutines ask for it.
 type Runner struct {
 	Opts  Options
 	Out   io.Writer
-	cache map[string]*sim.Result
+	pool  *exec.Pool
+	cache *exec.Cache[*sim.Result]
+	outMu sync.Mutex // serializes progress lines from concurrent callers
 }
 
-// NewRunner builds a Runner writing human-readable reports to out.
+// NewRunner builds a Runner writing human-readable reports to out, running
+// up to GOMAXPROCS simulations concurrently.
 func NewRunner(opts Options, out io.Writer) *Runner {
-	return &Runner{Opts: opts, Out: out, cache: make(map[string]*sim.Result)}
+	return NewParallelRunner(opts, out, 0)
+}
+
+// NewParallelRunner bounds concurrent simulations to parallel workers
+// (<= 0 selects runtime.GOMAXPROCS(0)). Report bytes are identical at any
+// worker count: artifacts submit their full job set up front via Prefetch
+// and then format exclusively from the cache in submission order.
+func NewParallelRunner(opts Options, out io.Writer, parallel int) *Runner {
+	pool := exec.NewPool(parallel)
+	return &Runner{Opts: opts, Out: out, pool: pool, cache: exec.NewCache[*sim.Result](pool)}
+}
+
+// Parallelism reports the worker-pool size.
+func (r *Runner) Parallelism() int { return r.pool.Size() }
+
+// Job names one simulation: the (workload, scheme, variant) cache key plus
+// the config mutation the variant implies. Mutate may be nil.
+type Job struct {
+	Workload string
+	Scheme   string
+	Variant  string
+	Mutate   func(*sim.Config)
+}
+
+func (j Job) key() string { return j.Workload + "|" + j.Scheme + "|" + j.Variant }
+
+// jobsFor builds the cross product of workloads × schemes (no variants),
+// in deterministic workload-major order.
+func jobsFor(wls []string, schemes ...string) []Job {
+	jobs := make([]Job, 0, len(wls)*len(schemes))
+	for _, wl := range wls {
+		for _, sch := range schemes {
+			jobs = append(jobs, Job{Workload: wl, Scheme: sch})
+		}
+	}
+	return jobs
 }
 
 // config builds the base simulation config for a workload/scheme pair.
@@ -137,30 +182,101 @@ func (r *Runner) config(wl, scheme string) sim.Config {
 	return cfg
 }
 
+// run executes (or recalls) one job through the deduplicated cache. ran
+// reports whether this call performed the simulation.
+func (r *Runner) run(ctx context.Context, j Job) (res *sim.Result, ran bool, err error) {
+	return r.cache.Do(ctx, j.key(), func() (*sim.Result, error) {
+		cfg := r.config(j.Workload, j.Scheme)
+		if j.Mutate != nil {
+			j.Mutate(&cfg)
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s%s: %w", j.Workload, j.Scheme, j.Variant, err)
+		}
+		if res.Mem.IntegrityErrs > 0 {
+			return nil, fmt.Errorf("%s/%s%s: %d integrity errors",
+				j.Workload, j.Scheme, j.Variant, res.Mem.IntegrityErrs)
+		}
+		return res, nil
+	})
+}
+
+// printRan emits one progress line (under the output lock: Result may be
+// called from many goroutines).
+func (r *Runner) printRan(res *sim.Result) {
+	if r.Opts.Silent {
+		return
+	}
+	r.outMu.Lock()
+	fmt.Fprintf(r.Out, "    [ran] %v\n", res)
+	r.outMu.Unlock()
+}
+
 // Result runs (or recalls) one simulation. variant distinguishes modified
 // configs (e.g. channel sweeps); mutate may adjust the config before the
-// run.
+// run. Result is goroutine-safe and deduplicates concurrent calls for the
+// same key.
 func (r *Runner) Result(wl, scheme, variant string, mutate func(*sim.Config)) (*sim.Result, error) {
-	key := wl + "|" + scheme + "|" + variant
-	if res, ok := r.cache[key]; ok {
-		return res, nil
-	}
-	cfg := r.config(wl, scheme)
-	if mutate != nil {
-		mutate(&cfg)
-	}
-	res, err := sim.Run(cfg)
+	res, ran, err := r.run(context.Background(), Job{wl, scheme, variant, mutate})
 	if err != nil {
-		return nil, fmt.Errorf("%s/%s%s: %w", wl, scheme, variant, err)
+		return nil, err
 	}
-	if res.Mem.IntegrityErrs > 0 {
-		return nil, fmt.Errorf("%s/%s%s: %d integrity errors", wl, scheme, variant, res.Mem.IntegrityErrs)
+	if ran {
+		r.printRan(res)
 	}
-	if !r.Opts.Silent {
-		fmt.Fprintf(r.Out, "    [ran] %v\n", res)
-	}
-	r.cache[key] = res
 	return res, nil
+}
+
+// Prefetch fans jobs out over the worker pool and blocks until every job
+// has completed or one has failed (failure cancels jobs still waiting for
+// a worker; running simulations finish and populate the cache). Duplicate
+// keys collapse. Progress lines print in submission order after the batch
+// settles — never in completion order — so the rendered bytes are
+// identical whether the pool has 1 worker or 64. The returned error is
+// the earliest-submitted failure among the jobs that ran; when several
+// jobs fail close together, which of them reached a worker first (and is
+// therefore reported) can vary with the worker count.
+func (r *Runner) Prefetch(jobs ...Job) error {
+	uniq := make([]Job, 0, len(jobs))
+	seen := make(map[string]bool, len(jobs))
+	for _, j := range jobs {
+		if !seen[j.key()] {
+			seen[j.key()] = true
+			uniq = append(uniq, j)
+		}
+	}
+
+	type outcome struct {
+		res *sim.Result
+		ran bool
+		err error
+	}
+	outs := make([]outcome, len(uniq))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for i, j := range uniq {
+		wg.Add(1)
+		go func(i int, j Job) {
+			defer wg.Done()
+			res, ran, err := r.run(ctx, j)
+			outs[i] = outcome{res, ran, err}
+			if err != nil {
+				cancel()
+			}
+		}(i, j)
+	}
+	wg.Wait()
+
+	errs := make([]error, len(outs))
+	for i, o := range outs {
+		errs[i] = o.err
+		if o.err == nil && o.ran {
+			r.printRan(o.res)
+		}
+	}
+	return exec.FirstError(errs)
 }
 
 // speedup returns the weighted speedup of scheme over the uncompressed

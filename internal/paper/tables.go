@@ -32,6 +32,9 @@ func (r *Runner) TableII() error {
 	fmt.Fprintf(r.Out, "%-10s %-14s %8s %12s %12s\n",
 		"suite", "workload", "L3 MPKI", "decl.footpr", "touched")
 	wls := append(append([]string{}, r.Opts.spec()...), r.Opts.graph()...)
+	if err := r.Prefetch(jobsFor(wls, sim.SchemeUncompressed)...); err != nil {
+		return err
+	}
 	for _, wl := range wls {
 		res, err := r.Result(wl, sim.SchemeUncompressed, "", nil)
 		if err != nil {
@@ -77,6 +80,20 @@ func (r *Runner) TableIII() {
 func (r *Runner) TableIV() error {
 	r.header("Table IV: sensitivity to number of memory channels")
 	fmt.Fprintf(r.Out, "%10s %12s\n", "channels", "avg speedup")
+	var jobs []Job
+	for _, ch := range []int{1, 2, 4} {
+		ch := ch
+		variant := fmt.Sprintf("ch%d", ch)
+		mutate := func(c *sim.Config) { c.DRAM.Channels = ch }
+		for _, wl := range r.Opts.spec() {
+			jobs = append(jobs,
+				Job{Workload: wl, Scheme: sim.SchemeUncompressed, Variant: variant, Mutate: mutate},
+				Job{Workload: wl, Scheme: sim.SchemeDynamicPTMC, Variant: variant, Mutate: mutate})
+		}
+	}
+	if err := r.Prefetch(jobs...); err != nil {
+		return err
+	}
 	for _, ch := range []int{1, 2, 4} {
 		ch := ch
 		var vs []float64
@@ -117,6 +134,13 @@ func (r *Runner) TableV() error {
 		{"GAP", r.Opts.graph()},
 		{"MIX", r.Opts.mixes()},
 	}
+	var jobs []Job
+	for _, s := range suites {
+		jobs = append(jobs, jobsFor(s.wls, sim.SchemeUncompressed, sim.SchemeDynamicPTMC)...)
+	}
+	if err := r.Prefetch(jobs...); err != nil {
+		return err
+	}
 	for _, s := range suites {
 		if len(s.wls) == 0 {
 			continue
@@ -156,6 +180,14 @@ func (r *Runner) TableVI() error {
 		{"SPEC", r.Opts.spec()},
 		{"GAP", r.Opts.graph()},
 		{"MIX", r.Opts.mixes()},
+	}
+	var jobs []Job
+	for _, s := range suites {
+		jobs = append(jobs, jobsFor(s.wls,
+			sim.SchemeUncompressed, sim.SchemeNextLine, sim.SchemeDynamicPTMC)...)
+	}
+	if err := r.Prefetch(jobs...); err != nil {
+		return err
 	}
 	for _, s := range suites {
 		if len(s.wls) == 0 {

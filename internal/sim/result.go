@@ -1,12 +1,14 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"ptmc/internal/cache"
 	"ptmc/internal/dram"
 	"ptmc/internal/energy"
+	"ptmc/internal/exec"
 	"ptmc/internal/memctrl"
 	"ptmc/internal/stats"
 )
@@ -84,17 +86,36 @@ func Run(cfg Config) (*Result, error) {
 }
 
 // Compare runs the same workload/seed under several schemes, returning
-// results keyed by scheme name.
+// results keyed by scheme name. Schemes run concurrently up to GOMAXPROCS;
+// each simulation is fully independent (own stores, own seeded streams), so
+// the per-scheme results are identical to a serial run.
 func Compare(cfg Config, schemes ...string) (map[string]*Result, error) {
-	out := make(map[string]*Result, len(schemes))
-	for _, scheme := range schemes {
+	return CompareParallel(context.Background(), 0, cfg, schemes...)
+}
+
+// CompareParallel is Compare with an explicit worker bound (<= 0 selects
+// runtime.GOMAXPROCS(0)) and cancellation: the first failure cancels
+// schemes still waiting for a worker, and the earliest-listed failure is
+// the one returned, regardless of completion order.
+func CompareParallel(ctx context.Context, parallel int, cfg Config, schemes ...string) (map[string]*Result, error) {
+	results := make([]*Result, len(schemes))
+	pool := exec.NewPool(parallel)
+	err := pool.ForEach(ctx, len(schemes), func(ctx context.Context, i int) error {
 		c := cfg
-		c.Scheme = scheme
+		c.Scheme = schemes[i]
 		r, err := Run(c)
 		if err != nil {
-			return nil, fmt.Errorf("%s/%s: %w", cfg.Workload, scheme, err)
+			return fmt.Errorf("%s/%s: %w", cfg.Workload, schemes[i], err)
 		}
-		out[scheme] = r
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*Result, len(schemes))
+	for i, scheme := range schemes {
+		out[scheme] = results[i]
 	}
 	return out, nil
 }

@@ -30,6 +30,8 @@
 package ptmc
 
 import (
+	"context"
+
 	"ptmc/internal/compress"
 	"ptmc/internal/sim"
 	"ptmc/internal/workload"
@@ -84,9 +86,16 @@ func DefaultConfig() Config { return sim.Default() }
 // Run simulates one workload under one scheme.
 func Run(cfg Config) (*Result, error) { return sim.Run(cfg) }
 
-// Compare runs the same workload and seed under several schemes.
+// Compare runs the same workload and seed under several schemes,
+// concurrently up to GOMAXPROCS. Results are identical to a serial run.
 func Compare(cfg Config, schemes ...string) (map[string]*Result, error) {
 	return sim.Compare(cfg, schemes...)
+}
+
+// CompareParallel is Compare with an explicit worker bound (<= 0 selects
+// GOMAXPROCS) and context cancellation.
+func CompareParallel(ctx context.Context, parallel int, cfg Config, schemes ...string) (map[string]*Result, error) {
+	return sim.CompareParallel(ctx, parallel, cfg, schemes...)
 }
 
 // Schemes lists every memory-controller scheme name.

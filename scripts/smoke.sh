@@ -1,0 +1,25 @@
+#!/bin/sh
+# Paperbench smoke: the quick report must be byte-identical to the
+# committed reference whatever the worker count. Regenerates with the
+# default -parallel (GOMAXPROCS) and diffs against paperbench_quick.txt;
+# pass a worker count as $1 to pin it (e.g. ./scripts/smoke.sh 1).
+set -e
+cd "$(dirname "$0")/.."
+parallel="${1:-0}"
+out="$(mktemp)"
+trap 'rm -f "$out"' EXIT
+if [ "$parallel" -gt 0 ] 2>/dev/null; then
+	go run ./cmd/paperbench -quiet -parallel "$parallel" > "$out"
+else
+	go run ./cmd/paperbench -quiet > "$out"
+fi
+# The trailing "complete in <wallclock>" line is timing, not report.
+grep -v '^paperbench complete in ' "$out" > "$out.trim"
+grep -v '^paperbench complete in ' paperbench_quick.txt > "$out.ref"
+if ! diff -u "$out.ref" "$out.trim"; then
+	rm -f "$out.trim" "$out.ref"
+	echo "smoke: report drifted from paperbench_quick.txt" >&2
+	exit 1
+fi
+rm -f "$out.trim" "$out.ref"
+echo "smoke: report matches paperbench_quick.txt"
