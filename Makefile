@@ -1,15 +1,18 @@
 # Tier-1 verification plus the race detector and the paperbench smoke.
 #
-#   make check   vet + build + race-enabled tests (the pre-commit gate)
-#   make smoke   regenerate the quick paperbench report and diff against
-#                the committed paperbench_quick.txt (slow: full quick set)
-#   make bench   compression + artifact micro-benchmarks with allocation
-#                counts (AppendCompress/DecompressInto must show 0 allocs/op)
-#   make ci      everything
+#   make check       vet + build + race-enabled tests (the pre-commit gate)
+#   make smoke       regenerate the quick paperbench report and diff against
+#                    the committed paperbench_quick.txt (slow: full quick
+#                    set), then run a short fault-injection campaign
+#   make fuzz-smoke  ~10s of native fuzzing per fuzz target
+#   make bench       compression + artifact micro-benchmarks with allocation
+#                    counts (AppendCompress/DecompressInto must show 0 allocs/op)
+#   make ci          everything
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: check vet build test smoke bench ci
+.PHONY: check vet build test smoke fuzz-smoke bench ci
 
 check: vet build test
 
@@ -24,6 +27,9 @@ test:
 
 smoke:
 	./scripts/smoke.sh
+
+fuzz-smoke:
+	$(GO) test ./internal/core/ -run FuzzMarkerClassify -fuzz FuzzMarkerClassify -fuzztime $(FUZZTIME)
 
 bench:
 	$(GO) test -run xxx -bench 'AppendCompress|DecompressInto' -benchmem .

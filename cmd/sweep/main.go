@@ -10,6 +10,11 @@
 // runs, completed rows print, the failures are listed afterwards, and only
 // then does the process exit non-zero.
 //
+// -timeout bounds each point's wall-clock time: a point that exceeds its
+// deadline is cancelled (the simulation aborts at its next cycle
+// checkpoint), reported in the end-of-run summary as timed out, and the
+// rest of the sweep continues.
+//
 // Usage:
 //
 //	sweep -kind channels -workload lbm06
@@ -20,6 +25,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -46,6 +52,8 @@ func main() {
 		seed         = flag.Int64("seed", 1, "base seed")
 		parallel     = flag.Int("parallel", runtime.GOMAXPROCS(0),
 			"max concurrent simulations (output is identical at any value)")
+		timeout = flag.Duration("timeout", 0,
+			"per-point deadline (0 = none); timed-out points are reported, the sweep continues")
 	)
 	flag.Parse()
 
@@ -114,9 +122,15 @@ func main() {
 		go func(i int, p point) {
 			defer wg.Done()
 			if err := pool.Run(context.Background(), func() error {
+				ctx := context.Background()
+				if *timeout > 0 {
+					var cancel context.CancelFunc
+					ctx, cancel = context.WithTimeout(ctx, *timeout)
+					defer cancel()
+				}
 				cfg := base
 				p.mutate(&cfg)
-				rs, err := ptmc.CompareParallel(context.Background(), 1, cfg,
+				rs, err := ptmc.CompareParallel(ctx, 1, cfg,
 					ptmc.SchemeUncompressed, *scheme)
 				if err != nil {
 					return err
@@ -134,7 +148,7 @@ func main() {
 	}
 	wg.Wait()
 
-	failed := false
+	failed, timedOut := false, 0
 	for i := range points {
 		if errs[i] == nil {
 			fmt.Println(rows[i])
@@ -143,8 +157,17 @@ func main() {
 	for i := range points {
 		if errs[i] != nil {
 			failed = true
-			fmt.Fprintln(os.Stderr, "sweep:", errs[i])
+			if errors.Is(errs[i], context.DeadlineExceeded) {
+				timedOut++
+				fmt.Fprintf(os.Stderr, "sweep: %v (timed out after %v)\n", errs[i], *timeout)
+			} else {
+				fmt.Fprintln(os.Stderr, "sweep:", errs[i])
+			}
 		}
+	}
+	if timedOut > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: %d of %d points timed out (-timeout %v)\n",
+			timedOut, len(points), *timeout)
 	}
 	if failed {
 		os.Exit(1)

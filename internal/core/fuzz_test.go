@@ -1,0 +1,118 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"ptmc/internal/mem"
+)
+
+// FuzzMarkerClassify fuzzes the marker-classification core against the
+// properties the whole PTMC design leans on:
+//
+//  1. classification is unambiguous — at most one marker predicate matches
+//     any line, and Classify returns exactly that interpretation;
+//  2. Invert is an involution;
+//  3. data flagged by CollidesWithMarkers classifies, once inverted (its
+//     stored form), as a LIT-consulting class — the inversion protocol
+//     never loses a line;
+//  4. data that does not collide is never mistaken for a compressed unit
+//     or a tombstone — plain writes stay plainly readable;
+//  5. SealCompressed round-trips through Classify for both unit sizes.
+//
+// The seed corpus includes engineered marker collisions (the adversarial
+// case from §IV-C) and the all-zeros line.
+func FuzzMarkerClassify(f *testing.F) {
+	g := NewMarkerGen(1)
+	withTail := func(word uint32) []byte {
+		line := make([]byte, mem.LineSize)
+		binary.LittleEndian.PutUint32(line[CompressedBudget:], word)
+		return line
+	}
+	f.Add(int64(1), uint64(0), withTail(g.Marker2(0)))  // 2:1 collision
+	f.Add(int64(1), uint64(0), withTail(g.Marker4(0)))  // 4:1 collision
+	f.Add(int64(1), uint64(0), withTail(^g.Marker2(0))) // complement pattern
+	il := g.MarkerIL(5)
+	f.Add(int64(1), uint64(5), il[:])                        // tombstone collision
+	f.Add(int64(7), uint64(123), make([]byte, mem.LineSize)) // all zeros
+
+	f.Fuzz(func(t *testing.T, seed int64, addr uint64, raw []byte) {
+		if len(raw) < mem.LineSize {
+			return
+		}
+		data := raw[:mem.LineSize]
+		g := NewMarkerGen(seed)
+		a := mem.LineAddr(addr)
+
+		assertUnambiguous(t, g, a, data)
+
+		// Invert round-trips.
+		if !bytes.Equal(Invert(Invert(data)), data) {
+			t.Fatal("Invert is not an involution")
+		}
+
+		if g.CollidesWithMarkers(a, data) {
+			// The stored (inverted) form must classify as a LIT-consulting
+			// pattern, or the write path would lose this line.
+			if c := g.Classify(a, Invert(data)); !c.NeedsLIT() {
+				t.Fatalf("colliding line's inverted form classifies as %d, not a LIT class", c)
+			}
+		} else {
+			// Non-colliding plain data must never look like a unit or a
+			// tombstone.
+			switch c := g.Classify(a, data); c {
+			case ClassComp2, ClassComp4, ClassInvalid:
+				t.Fatalf("non-colliding line classifies as %d", c)
+			}
+		}
+
+		// Sealed units classify back to their own level.
+		blob := data[:CompressedBudget]
+		s2 := g.SealCompressed(a, blob, false)
+		if c := g.Classify(a, s2[:]); c != ClassComp2 {
+			t.Fatalf("sealed 2:1 unit classifies as %d", c)
+		}
+		s4 := g.SealCompressed(a, blob, true)
+		if c := g.Classify(a, s4[:]); c != ClassComp4 {
+			t.Fatalf("sealed 4:1 unit classifies as %d", c)
+		}
+
+		// The properties survive a re-key (fresh generation, same line).
+		g.ReKey()
+		assertUnambiguous(t, g, a, data)
+	})
+}
+
+// assertUnambiguous checks that at most one marker predicate matches data
+// and that Classify agrees with the matching predicate.
+func assertUnambiguous(t *testing.T, g *MarkerGen, a mem.LineAddr, data []byte) {
+	t.Helper()
+	tail := binary.LittleEndian.Uint32(data[CompressedBudget:])
+	m2, m4 := g.Marker2(a), g.Marker4(a)
+	preds := []struct {
+		hit   bool
+		class Class
+	}{
+		{tail == m2, ClassComp2},
+		{tail == m4, ClassComp4},
+		{tail == ^m2, ClassInvComp2},
+		{tail == ^m4, ClassInvComp4},
+		{isMarkerIL(g, a, data, false), ClassInvalid},
+		{isMarkerIL(g, a, data, true), ClassInvIL},
+	}
+	matches := 0
+	want := ClassUncompressed
+	for _, p := range preds {
+		if p.hit {
+			matches++
+			want = p.class
+		}
+	}
+	if matches > 1 {
+		t.Fatalf("ambiguous classification: %d marker predicates match", matches)
+	}
+	if got := g.Classify(a, data); got != want {
+		t.Fatalf("Classify = %d, predicates say %d", got, want)
+	}
+}

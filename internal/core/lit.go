@@ -50,16 +50,18 @@ func NewLIT(mode LITMode) *LIT {
 // Mode returns the overflow mode.
 func (l *LIT) Mode() LITMode { return l.mode }
 
-// Contains reports whether addr is stored inverted. In memory-mapped mode a
-// lookup that misses the on-chip entries costs a memory access, which the
-// caller observes via the second return (extraAccess).
+// Contains reports whether addr is stored inverted. A lookup that misses
+// the on-chip entries and falls through to a memory-backed table (always
+// present in memory-mapped mode; created on demand by ForceInsert in
+// re-key mode) costs a memory access, which the caller observes via the
+// second return (extraAccess).
 func (l *LIT) Contains(addr mem.LineAddr) (inverted, extraAccess bool) {
 	for i := range l.entries {
 		if l.entries[i].valid && l.entries[i].addr == addr {
 			return true, false
 		}
 	}
-	if l.mode == LITMemoryMapped {
+	if l.spill != nil {
 		l.SpillReads++
 		return l.spill[addr], true
 	}
@@ -95,6 +97,22 @@ func (l *LIT) Insert(addr mem.LineAddr) (overflowed bool) {
 	return true
 }
 
+// ForceInsert records addr unconditionally: on-chip when a slot is free,
+// otherwise spilled to the memory-backed table — materialized on demand
+// even in LITReKey mode. This is the controller's last-resort degraded
+// path for collisions that survive re-keying (fault injection, a broken
+// marker hash): tracking the inversion in memory keeps every later read
+// sound at the cost of an extra access per spill-table lookup.
+func (l *LIT) ForceInsert(addr mem.LineAddr) {
+	if !l.Insert(addr) {
+		return // tracked on-chip (or spilled by memory-mapped Insert)
+	}
+	if l.spill == nil {
+		l.spill = make(map[mem.LineAddr]bool)
+	}
+	l.spill[addr] = true
+}
+
 // Remove clears tracking for addr (its stored form is no longer inverted).
 func (l *LIT) Remove(addr mem.LineAddr) {
 	for i := range l.entries {
@@ -104,7 +122,7 @@ func (l *LIT) Remove(addr mem.LineAddr) {
 			return
 		}
 	}
-	if l.mode == LITMemoryMapped && l.spill[addr] {
+	if l.spill != nil && l.spill[addr] {
 		delete(l.spill, addr)
 		l.Removes++
 	}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"ptmc/internal/mem"
+)
+
+// TestLITForceInsertSpillsInReKeyMode pins the last-resort degraded path:
+// even in re-key mode (no memory-backed table by default), ForceInsert must
+// materialize a spill table rather than lose track of an inverted line.
+func TestLITForceInsertSpillsInReKeyMode(t *testing.T) {
+	l := NewLIT(LITReKey)
+	for a := mem.LineAddr(0); a < LITEntries; a++ {
+		if l.Insert(a) {
+			t.Fatalf("insert %d overflowed below capacity", a)
+		}
+	}
+	over := mem.LineAddr(100)
+	if !l.Insert(over) {
+		t.Fatal("17th insert did not report overflow in re-key mode")
+	}
+	if inverted, _ := l.Contains(over); inverted {
+		t.Fatal("overflowed insert should not be tracked")
+	}
+
+	l.ForceInsert(over)
+	inverted, extra := l.Contains(over)
+	if !inverted {
+		t.Fatal("ForceInsert did not track the entry")
+	}
+	if !extra {
+		t.Error("spilled lookup should cost an extra memory access")
+	}
+	if got := l.Live(); got != LITEntries+1 {
+		t.Errorf("Live = %d, want %d", got, LITEntries+1)
+	}
+	if got := len(l.Addresses()); got != LITEntries+1 {
+		t.Errorf("Addresses lists %d entries, want %d", got, LITEntries+1)
+	}
+
+	// On-chip entries must still hit without the extra access.
+	if inverted, extra := l.Contains(3); !inverted || extra {
+		t.Errorf("on-chip lookup: inverted=%v extra=%v, want true/false", inverted, extra)
+	}
+
+	l.Remove(over)
+	if inverted, _ := l.Contains(over); inverted {
+		t.Error("Remove left the spilled entry behind")
+	}
+
+	l.ForceInsert(over)
+	l.Clear()
+	if got := l.Live(); got != 0 {
+		t.Errorf("Live after Clear = %d, want 0", got)
+	}
+}
+
+// TestLITForceInsertPrefersOnChip: with a free slot, ForceInsert lands
+// on-chip and no spill table is created.
+func TestLITForceInsertPrefersOnChip(t *testing.T) {
+	l := NewLIT(LITReKey)
+	l.ForceInsert(5)
+	if inverted, extra := l.Contains(5); !inverted || extra {
+		t.Errorf("inverted=%v extra=%v, want true/false (on-chip)", inverted, extra)
+	}
+}

@@ -13,14 +13,74 @@
 // builds its own memory image, caches, and seeded streams), so the engine
 // only has to bound concurrency and deduplicate shared runs — it never
 // needs to synchronize inside a simulation.
+//
+// The engine is panic-safe: a job that panics is converted into a
+// *PanicError carrying the panic value and stack, its worker slot is
+// released, and (for Cache.Do) every waiter on the flight is unblocked
+// with that error. One bad configuration can fail its own job but can
+// never deadlock or shrink the pool.
 package exec
 
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"time"
 )
+
+// PanicError is the typed error a panicking job is converted into. The
+// original panic value and the goroutine stack at the point of the panic
+// are preserved for diagnosis.
+type PanicError struct {
+	Value any    // the value passed to panic()
+	Stack []byte // debug.Stack() captured inside the recovering frame
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("exec: job panicked: %v", e.Value)
+}
+
+// RetryableError marks an error as transient: jobs run with
+// JobOptions.Attempts > 1 retry when they return one. Wrap with Retryable,
+// test with IsRetryable; errors.Is/As unwrap through it.
+type RetryableError struct{ Err error }
+
+func (e *RetryableError) Error() string { return e.Err.Error() }
+func (e *RetryableError) Unwrap() error { return e.Err }
+
+// Retryable wraps err so that retry-enabled jobs re-run it. A nil err
+// returns nil.
+func Retryable(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &RetryableError{Err: err}
+}
+
+// IsRetryable reports whether err is (or wraps) a RetryableError.
+func IsRetryable(err error) bool {
+	var re *RetryableError
+	return errors.As(err, &re)
+}
+
+// JobOptions bounds one job's execution. The zero value means: no
+// timeout, a single attempt, no backoff.
+type JobOptions struct {
+	// Timeout, when positive, is the per-attempt deadline: the job's
+	// context is cancelled after this duration. Jobs must honor their
+	// context for the deadline to take effect (sim.RunContext does).
+	Timeout time.Duration
+	// Attempts is the total number of tries for a job whose error is
+	// retryable (IsRetryable). Values below 1 mean one attempt.
+	Attempts int
+	// Backoff is the wait before the first retry; it doubles on each
+	// subsequent retry. The waiting job holds its pool slot (retries are
+	// expected to be rare and short).
+	Backoff time.Duration
+}
 
 // Pool bounds the number of jobs executing concurrently. The zero Pool is
 // not usable; construct with NewPool.
@@ -52,14 +112,83 @@ func (p *Pool) acquire(ctx context.Context) error {
 
 func (p *Pool) release() { <-p.sem }
 
+// safeCall invokes fn, converting a panic into a *PanicError.
+func safeCall(fn func() error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
+
 // Run executes fn on the pool, blocking until a slot is free. It returns
-// ctx's error without running fn if the context is cancelled first.
+// ctx's error without running fn if the context is cancelled first. A
+// panic in fn is returned as a *PanicError; the slot is always released.
 func (p *Pool) Run(ctx context.Context, fn func() error) error {
 	if err := p.acquire(ctx); err != nil {
 		return err
 	}
 	defer p.release()
-	return fn()
+	return safeCall(fn)
+}
+
+// RunJob executes fn on the pool under opts: a per-attempt timeout (via a
+// derived context fn must honor) and bounded retry-with-backoff for
+// attempts that return a retryable error (see Retryable). Panics convert
+// to *PanicError and are not retried. The slot is held across retries.
+func (p *Pool) RunJob(ctx context.Context, opts JobOptions, fn func(ctx context.Context) error) error {
+	if err := p.acquire(ctx); err != nil {
+		return err
+	}
+	defer p.release()
+	return p.attempt(ctx, opts, fn)
+}
+
+// attempt runs fn (already holding a slot) under opts.
+func (p *Pool) attempt(ctx context.Context, opts JobOptions, fn func(ctx context.Context) error) error {
+	attempts := opts.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := opts.Backoff
+	var err error
+	for try := 0; try < attempts; try++ {
+		// The first attempt always runs: a job that acquired its slot is
+		// "already executing" in ForEach's contract, even if the fan-out was
+		// cancelled meanwhile — that is what keeps error selection
+		// deterministic. Only retries re-check the context.
+		if try > 0 {
+			if backoff > 0 {
+				t := time.NewTimer(backoff)
+				select {
+				case <-t.C:
+				case <-ctx.Done():
+					t.Stop()
+					return ctx.Err()
+				}
+				backoff *= 2
+			}
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+		}
+		err = p.callOnce(ctx, opts.Timeout, fn)
+		if err == nil || !IsRetryable(err) {
+			return err
+		}
+	}
+	return err
+}
+
+// callOnce runs one attempt with its own deadline and panic conversion.
+func (p *Pool) callOnce(ctx context.Context, timeout time.Duration, fn func(ctx context.Context) error) error {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	return safeCall(func() error { return fn(ctx) })
 }
 
 // ForEach runs fn(ctx, i) for every i in [0, n) on the pool. The first
@@ -67,8 +196,15 @@ func (p *Pool) Run(ctx context.Context, fn func() error) error {
 // executing run to completion — simulations are not interruptible — but
 // queued jobs abort before starting). The returned error is deterministic
 // regardless of completion order: the lowest-index real failure, falling
-// back to the lowest-index cancellation.
+// back to the lowest-index cancellation. A panicking job fails with a
+// *PanicError; the other jobs and the pool are unaffected.
 func (p *Pool) ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	return p.ForEachJob(ctx, n, JobOptions{}, fn)
+}
+
+// ForEachJob is ForEach with per-job options (timeout and retry; see
+// JobOptions and RunJob).
+func (p *Pool) ForEachJob(ctx context.Context, n int, opts JobOptions, fn func(ctx context.Context, i int) error) error {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	errs := make([]error, n)
@@ -82,7 +218,9 @@ func (p *Pool) ForEach(ctx context.Context, n int, fn func(ctx context.Context, 
 		go func(i int) {
 			defer wg.Done()
 			defer p.release()
-			if err := fn(ctx, i); err != nil {
+			if err := p.attempt(ctx, opts, func(ctx context.Context) error {
+				return fn(ctx, i)
+			}); err != nil {
 				errs[i] = err
 				cancel()
 			}
@@ -159,7 +297,9 @@ func (c *Cache[V]) Cached(key string) (V, bool) {
 // all concurrent callers. ran reports whether this call executed fn (false
 // for cache hits and for waiters that joined an in-flight computation).
 // The leader holds a pool slot while fn runs; waiters hold none, so a
-// thousand goroutines asking for the same key cost one worker.
+// thousand goroutines asking for the same key cost one worker. If fn
+// panics, the leader and every waiter receive a *PanicError, the flight is
+// forgotten (a later Do retries), and the pool slot is released.
 func (c *Cache[V]) Do(ctx context.Context, key string, fn func() (V, error)) (v V, ran bool, err error) {
 	c.mu.Lock()
 	if f, ok := c.m[key]; ok {
@@ -181,12 +321,23 @@ func (c *Cache[V]) Do(ctx context.Context, key string, fn func() (V, error)) (v 
 		close(f.done)
 		return *new(V), false, err
 	}
-	f.val, f.err = fn()
-	c.pool.release()
-	if f.err != nil {
-		c.forget(key)
-	}
-	close(f.done)
+	// The deferred closure is the flight's single point of settlement: it
+	// converts a panic in fn, releases the slot, forgets failed flights,
+	// and closes done exactly once — in that order — so waiters can never
+	// be left blocked and the pool can never leak a slot, whatever fn did.
+	func() {
+		defer func() {
+			if v := recover(); v != nil {
+				f.err = &PanicError{Value: v, Stack: debug.Stack()}
+			}
+			c.pool.release()
+			if f.err != nil {
+				c.forget(key)
+			}
+			close(f.done)
+		}()
+		f.val, f.err = fn()
+	}()
 	return f.val, true, f.err
 }
 

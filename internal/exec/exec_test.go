@@ -164,3 +164,154 @@ func TestFirstErrorPrefersRealFailures(t *testing.T) {
 		t.Errorf("FirstError = %v, want nil", got)
 	}
 }
+
+// TestForEachPanicIsIsolated panics one job inside an 8-way ForEach and
+// asserts the remaining jobs run, the caller gets a PanicError, and the
+// pool remains fully usable afterwards (no leaked slots).
+func TestForEachPanicIsIsolated(t *testing.T) {
+	p := NewPool(8)
+	var completed atomic.Int32
+	var started sync.WaitGroup
+	started.Add(8) // barrier: every job is executing before any panics
+	err := p.ForEach(context.Background(), 8, func(ctx context.Context, i int) error {
+		started.Done()
+		started.Wait()
+		if i == 3 {
+			panic("job 3 exploded")
+		}
+		completed.Add(1)
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Value != "job 3 exploded" {
+		t.Errorf("panic value = %v", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("panic stack not captured")
+	}
+	// The other 7 jobs were already executing (8 slots) and must finish.
+	if n := completed.Load(); n != 7 {
+		t.Errorf("completed = %d, want 7", n)
+	}
+	// Pool stays usable at full capacity: all 8 slots must be acquirable.
+	if err := p.ForEach(context.Background(), 16, func(ctx context.Context, i int) error {
+		return nil
+	}); err != nil {
+		t.Fatalf("pool unusable after panic: %v", err)
+	}
+	if len(p.sem) != 0 {
+		t.Errorf("%d slots leaked", len(p.sem))
+	}
+}
+
+// TestCacheDoPanicUnblocksWaiters panics the singleflight leader and
+// asserts every waiter returns a PanicError instead of deadlocking, the
+// slot is released, and a later Do retries the key.
+func TestCacheDoPanicUnblocksWaiters(t *testing.T) {
+	p := NewPool(1) // one slot: a leaked slot would deadlock the retry below
+	c := NewCache[int](p)
+	start := make(chan struct{})
+	var waiterErrs atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			_, _, err := c.Do(context.Background(), "boom", func() (int, error) {
+				time.Sleep(2 * time.Millisecond) // let waiters join the flight
+				panic("leader exploded")
+			})
+			var pe *PanicError
+			if errors.As(err, &pe) {
+				waiterErrs.Add(1)
+			} else {
+				t.Errorf("waiter error = %v, want *PanicError", err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if n := waiterErrs.Load(); n != 8 {
+		t.Errorf("%d callers saw the PanicError, want 8", n)
+	}
+	// The failed flight must be forgotten and the slot released.
+	v, ran, err := c.Do(context.Background(), "boom", func() (int, error) { return 9, nil })
+	if err != nil || v != 9 || !ran {
+		t.Fatalf("retry after panic: v=%d ran=%v err=%v", v, ran, err)
+	}
+	if len(p.sem) != 0 {
+		t.Errorf("%d slots leaked", len(p.sem))
+	}
+}
+
+func TestRunConvertsPanic(t *testing.T) {
+	p := NewPool(2)
+	err := p.Run(context.Background(), func() error { panic(42) })
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Value != 42 {
+		t.Fatalf("err = %v, want PanicError{42}", err)
+	}
+	if len(p.sem) != 0 {
+		t.Error("slot leaked after panic")
+	}
+}
+
+// TestRunJobTimeout verifies the per-attempt deadline reaches the job's
+// context.
+func TestRunJobTimeout(t *testing.T) {
+	p := NewPool(1)
+	err := p.RunJob(context.Background(), JobOptions{Timeout: 5 * time.Millisecond},
+		func(ctx context.Context) error {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(5 * time.Second):
+				return nil
+			}
+		})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestRunJobRetriesRetryable verifies bounded retry-with-backoff: a
+// retryable error re-runs up to Attempts times; a terminal error does not.
+func TestRunJobRetriesRetryable(t *testing.T) {
+	p := NewPool(1)
+	calls := 0
+	err := p.RunJob(context.Background(), JobOptions{Attempts: 3, Backoff: time.Microsecond},
+		func(ctx context.Context) error {
+			calls++
+			if calls < 3 {
+				return Retryable(errors.New("transient"))
+			}
+			return nil
+		})
+	if err != nil || calls != 3 {
+		t.Fatalf("calls=%d err=%v, want 3 calls and success", calls, err)
+	}
+
+	calls = 0
+	boom := errors.New("terminal")
+	err = p.RunJob(context.Background(), JobOptions{Attempts: 3}, func(ctx context.Context) error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) || calls != 1 {
+		t.Fatalf("calls=%d err=%v, want 1 call and terminal error", calls, err)
+	}
+
+	// Retries exhausted: the last retryable error surfaces (and unwraps).
+	calls = 0
+	err = p.RunJob(context.Background(), JobOptions{Attempts: 2}, func(ctx context.Context) error {
+		calls++
+		return Retryable(boom)
+	})
+	if !errors.Is(err, boom) || !IsRetryable(err) || calls != 2 {
+		t.Fatalf("calls=%d err=%v, want 2 calls and wrapped terminal error", calls, err)
+	}
+}

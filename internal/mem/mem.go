@@ -12,6 +12,8 @@
 // correctness argument for inline metadata, made executable.
 package mem
 
+import "sort"
+
 // LineSize is the number of bytes per cache line / memory burst.
 const LineSize = 64
 
@@ -86,11 +88,17 @@ func (s *Store) Touched(a LineAddr) bool {
 }
 
 // TouchedLines returns every line address in pages that have been written,
-// in unspecified order. Intended for whole-memory operations (LIT-overflow
-// re-encoding, image-soundness property checks).
+// in ascending address order. The sort matters: whole-memory operations
+// (LIT-overflow re-encoding, image-soundness property checks, fault-campaign
+// candidate selection) must be deterministic so a run replays from its seed.
 func (s *Store) TouchedLines() []LineAddr {
-	var out []LineAddr
+	pns := make([]uint64, 0, len(s.pages))
 	for pn := range s.pages {
+		pns = append(pns, pn)
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	out := make([]LineAddr, 0, len(pns)*linesPerPage)
+	for _, pn := range pns {
 		for i := uint64(0); i < linesPerPage; i++ {
 			out = append(out, LineAddr(pn*linesPerPage+i))
 		}

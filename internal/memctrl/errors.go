@@ -1,0 +1,72 @@
+package memctrl
+
+import (
+	"errors"
+	"fmt"
+
+	"ptmc/internal/mem"
+)
+
+// The typed error taxonomy for memory-image soundness violations and
+// controller degradation events. Every error VerifyImage reports wraps one
+// of these sentinels, so callers (the fault campaign, tests) classify
+// failures with errors.Is instead of string matching.
+var (
+	// ErrLITFull: the on-chip Line Inversion Table overflowed and re-keying
+	// could not resolve the collision; the entry was spilled to the
+	// memory-backed table (degraded but sound operation).
+	ErrLITFull = errors.New("memctrl: line inversion table full")
+
+	// ErrMarkerCollision: a line's data collided with its markers beyond
+	// what inversion + re-keying could absorb.
+	ErrMarkerCollision = errors.New("memctrl: persistent marker collision")
+
+	// ErrUndecodable: a location classified as a compressed unit but its
+	// payload did not decode.
+	ErrUndecodable = errors.New("memctrl: undecodable compressed unit")
+
+	// ErrUnitMisplaced: a compressed unit's marker appears at a location
+	// that is not the unit's home.
+	ErrUnitMisplaced = errors.New("memctrl: compressed unit not at its home")
+
+	// ErrDoubleCovered: two locations both claim to serve the same line.
+	ErrDoubleCovered = errors.New("memctrl: line served by two locations")
+
+	// ErrStaleLIT: the LIT tracks a line whose stored image is not
+	// actually inverted.
+	ErrStaleLIT = errors.New("memctrl: LIT entry for non-inverted line")
+
+	// ErrValueMismatch: a line decoded from the image differs from its
+	// architectural value.
+	ErrValueMismatch = errors.New("memctrl: decoded value differs from architectural")
+
+	// ErrUncovered: an architecturally live line has no serving location
+	// in the image (e.g. a tombstone planted over live data).
+	ErrUncovered = errors.New("memctrl: line has no serving location in the image")
+)
+
+// VerifyError is the concrete error VerifyImage returns: the violated
+// invariant (one of the sentinels above, reachable via errors.Is), the
+// line it concerns, the location that serves (or fails to serve) it, and
+// a human-readable detail.
+type VerifyError struct {
+	Line   mem.LineAddr // the affected cache line
+	Loc    mem.LineAddr // the image location implicated
+	Cause  error        // sentinel from the taxonomy above
+	Detail string       // extra context ("2:1 unit", wrapped decode error, ...)
+}
+
+func (e *VerifyError) Error() string {
+	msg := fmt.Sprintf("line %d (loc %d): %v", e.Line, e.Loc, e.Cause)
+	if e.Detail != "" {
+		msg += ": " + e.Detail
+	}
+	return msg
+}
+
+func (e *VerifyError) Unwrap() error { return e.Cause }
+
+// verifyErr builds a VerifyError.
+func verifyErr(line, loc mem.LineAddr, cause error, format string, args ...any) *VerifyError {
+	return &VerifyError{Line: line, Loc: loc, Cause: cause, Detail: fmt.Sprintf(format, args...)}
+}

@@ -77,6 +77,20 @@ type Stats struct {
 	// Fills by source.
 	FillsCompressed   uint64
 	FillsUncompressed uint64
+
+	// Graceful-degradation events. Each one is a fault the controller
+	// detected and survived by falling back to uncompressed semantics;
+	// all stay 0 in a healthy run and are the fault campaign's primary
+	// detection signal (alongside IntegrityErrs).
+	UndecodableUnits uint64 // compressed unit failed to decode on fill; fallback served
+	FallbackReads    uint64 // every candidate location exhausted; architectural fallback served
+	LITSpills        uint64 // marker collision survived re-keying; entry spilled to the memory-backed LIT
+}
+
+// Degradations returns the total graceful-degradation events (detected,
+// survived faults).
+func (s *Stats) Degradations() uint64 {
+	return s.UndecodableUnits + s.FallbackReads + s.LITSpills
 }
 
 // TotalReads returns all DRAM read bursts the scheme generated.

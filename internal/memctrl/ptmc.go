@@ -117,6 +117,13 @@ func (p *PTMC) InitLine(a mem.LineAddr) {
 // writeRaw stores an uncompressed line at its own location, inverting on
 // marker collision and maintaining the LIT (§IV-C). When charge is true the
 // DRAM write is issued and accounted under k.
+//
+// Collisions the on-chip LIT cannot absorb trigger a re-key; if a
+// collision persists across re-keys (possible only under fault injection
+// or a broken marker hash), the controller degrades gracefully instead of
+// failing: the entry spills to the memory-backed LIT (the paper's Option-1
+// fallback) and the line is stored inverted, which stays sound — the
+// spilled entry keeps every later read and verification correct.
 func (p *PTMC) writeRaw(a mem.LineAddr, data []byte, now int64, charge bool, k kind) {
 	for attempt := 0; ; attempt++ {
 		if !p.markers.CollidesWithMarkers(a, data) {
@@ -133,10 +140,13 @@ func (p *PTMC) writeRaw(a mem.LineAddr, data []byte, now int64, charge bool, k k
 		}
 		// LIT overflow: re-key (re-encoding all of memory under fresh
 		// markers), then retry this write under the new generation.
-		if attempt >= 3 {
-			panic("memctrl: marker collision persisted across re-keys")
+		if attempt >= 3 || !p.reKey(now, charge) {
+			p.st.LITSpills++
+			p.st.Inversions++
+			p.img.Write(a, core.Invert(data))
+			p.lit.ForceInsert(a)
+			break
 		}
-		p.reKey(now, charge)
 	}
 	if charge {
 		p.issue(a, true, k, now, nil)
@@ -156,12 +166,14 @@ func (p *PTMC) writeInvalid(a mem.LineAddr, now int64, charge bool) {
 // reKey handles LIT overflow (Option-2): regenerate marker keys and
 // re-encode every resident line under the new markers. The latency is not
 // modeled (the paper argues overflows are ~once per 10 million years); the
-// event is counted and the re-encode is functional.
-func (p *PTMC) reKey(now int64, charge bool) {
+// event is counted and the re-encode is functional. It reports false —
+// declining to re-key — when re-keys are already nested four deep: >16
+// fresh-key collisions per pass, four passes in a row, means the marker
+// hash is broken, not unlucky, and the caller must degrade to the
+// memory-backed LIT instead of recursing forever.
+func (p *PTMC) reKey(now int64, charge bool) bool {
 	if p.rekeyDepth >= 4 {
-		// >16 fresh-key collisions per pass, four passes in a row: the
-		// marker hash is broken, not unlucky.
-		panic("memctrl: LIT overflowed repeatedly during re-key")
+		return false
 	}
 	p.rekeyDepth++
 	defer func() { p.rekeyDepth-- }()
@@ -195,6 +207,24 @@ func (p *PTMC) reKey(now int64, charge bool) {
 			// Plain data may collide with the *new* markers; writeRaw
 			// re-applies inversion handling under the new generation.
 			p.writeRaw(a, data, now, false, kDirtyWrite)
+		}
+	}
+	return true
+}
+
+// Scrub repairs the memory image of a's 4-line compression group from the
+// architectural store: every member is rewritten uncompressed at its own
+// location (with full marker-collision handling) and any LLC-resident
+// member's compression tag is reset to Uncompressed so later evictions see
+// a layout consistent with memory. It models a RAS-style scrub engine —
+// the recovery action run after a detected corruption — so its DRAM
+// traffic is not charged. Compressed units homed inside the group are
+// overwritten, which is sound: a unit's members never span groups.
+func (p *PTMC) Scrub(a mem.LineAddr) {
+	for _, m := range core.MembersAt(core.GroupBase(a), cache.Comp4) {
+		p.writeRaw(m, p.arch.Read(m), 0, false, kDirtyWrite)
+		if e, in := p.llc.Probe(m); in {
+			e.Level = cache.Uncompressed
 		}
 	}
 }
@@ -311,9 +341,10 @@ func (p *PTMC) retryRead(core_ int, a mem.LineAddr, counted bool,
 			return
 		}
 	}
-	// All candidates exhausted: the memory image is corrupt. Count it and
-	// fail safe with the architectural value so the simulation continues.
-	p.st.IntegrityErrs++
+	// All candidates exhausted: the memory image is corrupt. Degrade
+	// gracefully — count the detection and serve the architectural value
+	// uncompressed so the system keeps running.
+	p.st.FallbackReads++
 	p.fillUncompressed(core_, a, p.arch.Read(a), counted, false, now, done)
 }
 
@@ -325,7 +356,9 @@ func (p *PTMC) fillCompressed(core_ int, a, home mem.LineAddr, level cache.Level
 	members := core.MembersAt(home, level)
 	lines, err := p.decodeGroup(data[:core.CompressedBudget], len(members))
 	if err != nil {
-		p.st.IntegrityErrs++
+		// Undecodable unit: a detected fault (ErrUndecodable class). Fall
+		// back to an uncompressed fill of the architectural value.
+		p.st.UndecodableUnits++
 		p.fillUncompressed(core_, a, p.arch.Read(a), counted, false, now, done)
 		return
 	}

@@ -2,7 +2,6 @@ package memctrl
 
 import (
 	"bytes"
-	"fmt"
 
 	"ptmc/internal/cache"
 	"ptmc/internal/compress"
@@ -14,12 +13,16 @@ import (
 // paper's soundness invariant end to end: classifying a location by its
 // inline markers (plus the LIT) yields an interpretation under which every
 // line whose authoritative copy is in memory decodes to its architectural
-// value, and no location is interpretable two ways.
+// value, no location is interpretable two ways, and every architecturally
+// live line is served by some location (or by the LLC).
 //
 // inLLC reports lines whose authoritative copy is (possibly dirty) in the
-// cache hierarchy — memory is allowed to be stale for exactly those.
-// VerifyImage returns the number of lines whose authoritative copy was
-// verified in memory, or an error naming the first violation.
+// cache hierarchy — memory is allowed to be stale (or uncovered) for
+// exactly those. VerifyImage returns the number of lines whose
+// authoritative copy was verified in memory, or a *VerifyError naming the
+// first violation; the error wraps one of the taxonomy sentinels
+// (ErrUnitMisplaced, ErrUndecodable, ErrDoubleCovered, ErrValueMismatch,
+// ErrStaleLIT, ErrUncovered) for errors.Is classification.
 func (p *PTMC) VerifyImage(inLLC func(a mem.LineAddr) bool) (int, error) {
 	covered := map[mem.LineAddr]mem.LineAddr{} // line -> home that serves it
 	verified := 0
@@ -34,23 +37,23 @@ func (p *PTMC) VerifyImage(inLLC func(a mem.LineAddr) bool) (int, error) {
 				level = cache.Comp4
 			}
 			if core.HomeFor(loc, level) != loc {
-				return verified, fmt.Errorf("line %d: %v unit not at its home", loc, level)
+				return verified, verifyErr(loc, loc, ErrUnitMisplaced, "%v unit", level)
 			}
 			members := core.MembersAt(loc, level)
 			lines, err := compress.DecompressGroup(p.alg, data[:core.CompressedBudget], len(members))
 			if err != nil {
-				return verified, fmt.Errorf("line %d: undecodable %v unit: %w", loc, level, err)
+				return verified, verifyErr(loc, loc, ErrUndecodable, "%v unit: %v", level, err)
 			}
 			for i, m := range members {
 				if prev, dup := covered[m]; dup {
-					return verified, fmt.Errorf("line %d served by both %d and %d", m, prev, loc)
+					return verified, verifyErr(m, loc, ErrDoubleCovered, "also served by %d", prev)
 				}
 				covered[m] = loc
 				if inLLC != nil && inLLC(m) {
 					continue // LLC copy is authoritative; memory may be stale
 				}
 				if !bytes.Equal(lines[i], p.arch.Read(m)) {
-					return verified, fmt.Errorf("line %d: decoded value differs from architectural", m)
+					return verified, verifyErr(m, loc, ErrValueMismatch, "%v member %d", level, i)
 				}
 				verified++
 			}
@@ -63,26 +66,26 @@ func (p *PTMC) VerifyImage(inLLC func(a mem.LineAddr) bool) (int, error) {
 				val = core.Invert(data)
 			}
 			if prev, dup := covered[loc]; dup {
-				return verified, fmt.Errorf("line %d served by both %d and itself", loc, prev)
+				return verified, verifyErr(loc, loc, ErrDoubleCovered, "also served by %d", prev)
 			}
 			covered[loc] = loc
 			if inLLC != nil && inLLC(loc) {
 				continue
 			}
 			if !bytes.Equal(val, p.arch.Read(loc)) {
-				return verified, fmt.Errorf("line %d: (inverted=%v) value differs from architectural", loc, inverted)
+				return verified, verifyErr(loc, loc, ErrValueMismatch, "inverted=%v", inverted)
 			}
 			verified++
 		default: // uncompressed
 			if prev, dup := covered[loc]; dup {
-				return verified, fmt.Errorf("line %d served by both %d and itself", loc, prev)
+				return verified, verifyErr(loc, loc, ErrDoubleCovered, "also served by %d", prev)
 			}
 			covered[loc] = loc
 			if inLLC != nil && inLLC(loc) {
 				continue
 			}
 			if !bytes.Equal(data, p.arch.Read(loc)) {
-				return verified, fmt.Errorf("line %d: uncompressed value differs from architectural", loc)
+				return verified, verifyErr(loc, loc, ErrValueMismatch, "uncompressed")
 			}
 			verified++
 		}
@@ -92,7 +95,29 @@ func (p *PTMC) VerifyImage(inLLC func(a mem.LineAddr) bool) (int, error) {
 	// inverted (classifies as a complement pattern).
 	for _, a := range p.lit.Addresses() {
 		if !p.markers.Classify(a, p.img.Read(a)).NeedsLIT() {
-			return verified, fmt.Errorf("LIT tracks line %d whose image is not inverted", a)
+			return verified, verifyErr(a, a, ErrStaleLIT, "image class is %d", p.markers.Classify(a, p.img.Read(a)))
+		}
+	}
+
+	// Completeness: every architecturally live line must be served by some
+	// image location or be resident in the LLC. This is what catches a
+	// tombstone planted over live data — the scan above sees a perfectly
+	// well-formed Marker-IL and moves on; only the coverage map knows the
+	// line's value is now unreachable.
+	for _, m := range p.arch.TouchedLines() {
+		if _, ok := covered[m]; ok {
+			continue
+		}
+		if inLLC != nil && inLLC(m) {
+			continue
+		}
+		if p.img.Touched(m) {
+			return verified, verifyErr(m, m, ErrUncovered, "image location is a tombstone or foreign unit")
+		}
+		// The image never materialized this line's page: sound only if the
+		// architectural value is still the zero line both stores imply.
+		if !bytes.Equal(p.arch.Read(m), make([]byte, mem.LineSize)) {
+			return verified, verifyErr(m, m, ErrUncovered, "architectural page never materialized in the image")
 		}
 	}
 	return verified, nil

@@ -73,16 +73,26 @@ func (r *Result) String() string {
 	if r.Mem.IntegrityErrs > 0 {
 		fmt.Fprintf(&b, " INTEGRITY-ERRORS=%d", r.Mem.IntegrityErrs)
 	}
+	if d := r.Mem.Degradations(); d > 0 {
+		fmt.Fprintf(&b, " DEGRADED=%d", d)
+	}
 	return b.String()
 }
 
 // Run is the one-call entry: build a simulator from cfg and run it.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation: a done context aborts the simulation
+// at its next cycle checkpoint (per-point timeouts in cmd/sweep, campaign
+// drivers).
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	s, err := New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return s.Run()
+	return s.RunContext(ctx)
 }
 
 // Compare runs the same workload/seed under several schemes, returning
@@ -103,7 +113,7 @@ func CompareParallel(ctx context.Context, parallel int, cfg Config, schemes ...s
 	err := pool.ForEach(ctx, len(schemes), func(ctx context.Context, i int) error {
 		c := cfg
 		c.Scheme = schemes[i]
-		r, err := Run(c)
+		r, err := RunContext(ctx, c)
 		if err != nil {
 			return fmt.Errorf("%s/%s: %w", cfg.Workload, schemes[i], err)
 		}

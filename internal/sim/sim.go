@@ -5,6 +5,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"ptmc/internal/cache"
@@ -369,8 +370,12 @@ func (s *Simulator) fillDone(coreID int, paddr mem.LineAddr, c int64) {
 }
 
 // run advances the system until every core retires `limit` instructions
-// (from its current window) or maxCycles elapse.
-func (s *Simulator) run(limit, maxCycles int64) error {
+// (from its current window), maxCycles elapse, or ctx is cancelled. The
+// context is polled every 4096 cycles — cheap enough to be invisible, and
+// what lets a per-point timeout (cmd/sweep -timeout, exec.JobOptions)
+// actually interrupt a pathological simulation instead of hanging a
+// worker forever.
+func (s *Simulator) run(ctx context.Context, limit, maxCycles int64) error {
 	for i := range s.cores {
 		s.cores[i].ResetWindow(limit)
 	}
@@ -391,6 +396,9 @@ func (s *Simulator) run(limit, maxCycles int64) error {
 		}
 		if s.now >= deadline {
 			return fmt.Errorf("sim: exceeded %d cycles without finishing", maxCycles)
+		}
+		if s.now&4095 == 0 && ctx.Err() != nil {
+			return fmt.Errorf("sim: interrupted at cycle %d: %w", s.now, ctx.Err())
 		}
 		s.now++
 		for _, c := range s.cores {
@@ -427,14 +435,20 @@ func (s *Simulator) resetStats() {
 
 // Run executes warmup then the measured window and returns the results.
 func (s *Simulator) Run() (*Result, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with cancellation: the simulation aborts (returning
+// ctx's error) at the next 4096-cycle checkpoint after ctx is done.
+func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
 	const cyclesPerInstr = 400 // generous safety budget
 	if s.cfg.WarmupInstr > 0 {
-		if err := s.run(s.cfg.WarmupInstr, s.cfg.WarmupInstr*cyclesPerInstr+10_000_000); err != nil {
+		if err := s.run(ctx, s.cfg.WarmupInstr, s.cfg.WarmupInstr*cyclesPerInstr+10_000_000); err != nil {
 			return nil, fmt.Errorf("warmup: %w", err)
 		}
 	}
 	s.resetStats()
-	if err := s.run(s.cfg.MeasureInstr, s.cfg.MeasureInstr*cyclesPerInstr+10_000_000); err != nil {
+	if err := s.run(ctx, s.cfg.MeasureInstr, s.cfg.MeasureInstr*cyclesPerInstr+10_000_000); err != nil {
 		return nil, err
 	}
 	return s.collect(), nil

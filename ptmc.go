@@ -33,6 +33,7 @@ import (
 	"context"
 
 	"ptmc/internal/compress"
+	"ptmc/internal/fault"
 	"ptmc/internal/sim"
 	"ptmc/internal/workload"
 )
@@ -86,6 +87,12 @@ func DefaultConfig() Config { return sim.Default() }
 // Run simulates one workload under one scheme.
 func Run(cfg Config) (*Result, error) { return sim.Run(cfg) }
 
+// RunContext is Run with cancellation: a done context aborts the simulation
+// at its next cycle checkpoint.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	return sim.RunContext(ctx, cfg)
+}
+
 // Compare runs the same workload and seed under several schemes,
 // concurrently up to GOMAXPROCS. Results are identical to a serial run.
 func Compare(cfg Config, schemes ...string) (map[string]*Result, error) {
@@ -106,6 +113,46 @@ func Workloads() []string { return workload.Names() }
 
 // LookupWorkload returns a built-in workload description by name.
 func LookupWorkload(name string) (*Workload, error) { return workload.Lookup(name) }
+
+// Fault-injection campaign API (robustness validation; see cmd/faultprobe).
+type (
+	// FaultConfig parameterizes a fault-injection campaign.
+	FaultConfig = sim.FaultConfig
+	// FaultReport is a campaign's adjudicated outcome.
+	FaultReport = sim.FaultReport
+	// FaultTrial records one injection and its outcome.
+	FaultTrial = sim.FaultTrial
+	// FaultOutcome classifies a trial (detected / harmless / silent).
+	FaultOutcome = sim.FaultOutcome
+	// FaultKind selects an injectable fault ("marker-flip", ...).
+	FaultKind = fault.Kind
+	// NoHurtReport is the adversarial no-hurt experiment's outcome.
+	NoHurtReport = sim.NoHurtReport
+)
+
+// FaultKinds lists every injectable fault kind.
+func FaultKinds() []FaultKind { return fault.Kinds() }
+
+// ParseFaultKind resolves a fault-kind name ("marker-flip", ...).
+func ParseFaultKind(name string) (FaultKind, error) { return fault.ParseKind(name) }
+
+// RunFaultCampaign interleaves random traffic with injected faults against
+// a live PTMC controller and adjudicates every trial as detected, harmless,
+// or silent (the outcome that must never occur).
+func RunFaultCampaign(ctx context.Context, cfg FaultConfig) (*FaultReport, error) {
+	return sim.RunFaultCampaign(ctx, cfg)
+}
+
+// RunNoHurt runs the adversarial workload under the uncompressed baseline,
+// static PTMC, and Dynamic-PTMC, reporting whether the dynamic design
+// disabled compression and held the no-hurt bandwidth bound.
+func RunNoHurt(ctx context.Context, cfg Config) (*NoHurtReport, error) {
+	return sim.RunNoHurt(ctx, cfg)
+}
+
+// AdversarialWorkload returns the compression-hostile workload RunNoHurt
+// uses by default.
+func AdversarialWorkload() *Workload { return sim.AdversarialWorkload() }
 
 // NewHybridCompressor returns the FPC+BDI hybrid line compressor, usable
 // standalone for compressibility studies (see examples/membw-explorer).

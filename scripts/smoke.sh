@@ -23,3 +23,8 @@ if ! diff -u "$out.ref" "$out.trim"; then
 fi
 rm -f "$out.trim" "$out.ref"
 echo "smoke: report matches paperbench_quick.txt"
+
+# Short fault-injection campaign: every injected fault must be detected
+# or harmless — faultprobe exits non-zero on any silent corruption.
+go run ./cmd/faultprobe -trials 100 -seed 1
+echo "smoke: fault campaign clean"
