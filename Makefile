@@ -5,14 +5,17 @@
 #                    the committed paperbench_quick.txt (slow: full quick
 #                    set), then run a short fault-injection campaign
 #   make fuzz-smoke  ~10s of native fuzzing per fuzz target
+#   make trace-smoke instrumented quickstart run; obscheck validates the
+#                    -metrics and -trace artifacts it produces
 #   make bench       compression + artifact micro-benchmarks with allocation
-#                    counts (AppendCompress/DecompressInto must show 0 allocs/op)
+#                    counts (AppendCompress/DecompressInto must show 0 allocs/op;
+#                    nil-instrumentation obs paths must show 0 allocs/op)
 #   make ci          everything
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test smoke fuzz-smoke bench ci
+.PHONY: check vet build test smoke fuzz-smoke trace-smoke bench ci
 
 check: vet build test
 
@@ -31,7 +34,17 @@ smoke:
 fuzz-smoke:
 	$(GO) test ./internal/core/ -run FuzzMarkerClassify -fuzz FuzzMarkerClassify -fuzztime $(FUZZTIME)
 
+trace-smoke:
+	out=$$(mktemp -d) && \
+	$(GO) run ./cmd/ptmcsim -workload lbm06 -scheme dynamic-ptmc \
+		-insts 60000 -warmup 60000 \
+		-metrics "$$out/m.json" -trace "$$out/t.trace" > /dev/null && \
+	$(GO) run ./cmd/obscheck -trace "$$out/t.trace" -metrics "$$out/m.json"; \
+	st=$$?; rm -rf "$$out"; exit $$st
+
 bench:
 	$(GO) test -run xxx -bench 'AppendCompress|DecompressInto' -benchmem .
+	$(GO) test -run xxx -bench 'BenchmarkNil' -benchmem ./internal/obs/
+	$(GO) test -run xxx -bench 'BenchmarkPTMCReadMiss' -benchmem ./internal/memctrl/
 
 ci: check smoke

@@ -1,0 +1,185 @@
+// Command obscheck validates the observability artifacts the other
+// commands emit — the -trace Chrome trace-event file and the -metrics
+// snapshot-series JSON — without trusting the writer: it re-parses both
+// with encoding/json and checks the structural invariants consumers rely
+// on. scripts/smoke.sh uses it to keep the trace and metrics formats
+// honest in CI (`make trace-smoke`).
+//
+// Usage:
+//
+//	obscheck -trace out.trace                     # default required kinds
+//	obscheck -trace out.trace -require fill,evict
+//	obscheck -metrics out.json
+//	obscheck -trace out.trace -metrics out.json
+//
+// Checks:
+//
+//   - trace: the file is a JSON array of trace events; every event has a
+//     known kind name and a valid phase; each kind named by -require
+//     (default dram-read,dram-write,fill,evict — the kinds any real run
+//     must produce) appears at least once.
+//   - metrics: the file parses as {"series":[...],"windows":[...]}; every
+//     window carries exactly one value and one delta per declared series;
+//     window cycles are strictly increasing; counter deltas are consistent
+//     with the cumulative values they were derived from.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	var (
+		tracePath   = flag.String("trace", "", "Chrome trace-event JSON file to validate")
+		metricsPath = flag.String("metrics", "", "metrics snapshot-series JSON file to validate")
+		require     = flag.String("require", "dram-read,dram-write,fill,evict",
+			"comma-separated event kinds that must appear in the trace at least once")
+	)
+	flag.Parse()
+
+	if *tracePath == "" && *metricsPath == "" {
+		fmt.Fprintln(os.Stderr, "obscheck: nothing to check (pass -trace and/or -metrics)")
+		os.Exit(2)
+	}
+	ok := true
+	if *tracePath != "" {
+		ok = checkTrace(*tracePath, *require) && ok
+	}
+	if *metricsPath != "" {
+		ok = checkMetrics(*metricsPath) && ok
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func fail(format string, args ...any) bool {
+	fmt.Fprintf(os.Stderr, "obscheck: "+format+"\n", args...)
+	return false
+}
+
+// knownKinds mirrors internal/obs kind names; obscheck deliberately
+// re-declares them so a renamed kind breaks the smoke check instead of
+// silently tracking the rename.
+var knownKinds = map[string]bool{
+	"dram-read": true, "dram-write": true, "fill": true, "evict": true,
+	"rekey": true, "scrub": true, "policy-flip": true, "job": true,
+}
+
+func checkTrace(path, require string) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fail("%v", err)
+	}
+	var events []struct {
+		Name string `json:"name"`
+		Ph   string `json:"ph"`
+		TS   *int64 `json:"ts"`
+	}
+	if err := json.Unmarshal(data, &events); err != nil {
+		return fail("trace %s: not a JSON event array: %v", path, err)
+	}
+	counts := map[string]int{}
+	for i, e := range events {
+		switch {
+		case !knownKinds[e.Name]:
+			return fail("trace %s: event %d has unknown kind %q", path, i, e.Name)
+		case e.Ph != "X" && e.Ph != "i":
+			return fail("trace %s: event %d (%s) has phase %q, want X or i", path, i, e.Name, e.Ph)
+		case e.TS == nil:
+			return fail("trace %s: event %d (%s) has no timestamp", path, i, e.Name)
+		}
+		counts[e.Name]++
+	}
+	for _, kind := range strings.Split(require, ",") {
+		if kind = strings.TrimSpace(kind); kind == "" {
+			continue
+		}
+		if !knownKinds[kind] {
+			return fail("-require names unknown kind %q", kind)
+		}
+		if counts[kind] == 0 {
+			return fail("trace %s: no %q events (%d events total)", path, kind, len(events))
+		}
+	}
+	var parts []string
+	for kind, n := range counts {
+		parts = append(parts, fmt.Sprintf("%s=%d", kind, n))
+	}
+	fmt.Printf("obscheck: trace %s OK: %d events (%s)\n",
+		path, len(events), strings.Join(parts, " "))
+	return true
+}
+
+func checkMetrics(path string) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fail("%v", err)
+	}
+	var dump struct {
+		Series []struct {
+			Name   string `json:"name"`
+			Labels string `json:"labels"`
+			Kind   string `json:"kind"`
+		} `json:"series"`
+		Windows []struct {
+			Cycle  *int64   `json:"cycle"`
+			Values []uint64 `json:"values"`
+			Deltas []uint64 `json:"deltas"`
+		} `json:"windows"`
+	}
+	if err := json.Unmarshal(data, &dump); err != nil {
+		return fail("metrics %s: %v", path, err)
+	}
+	if len(dump.Series) == 0 || len(dump.Windows) == 0 {
+		return fail("metrics %s: empty dump (%d series, %d windows)",
+			path, len(dump.Series), len(dump.Windows))
+	}
+	for i, s := range dump.Series {
+		if s.Name == "" {
+			return fail("metrics %s: series %d has no name", path, i)
+		}
+		if s.Kind != "counter" && s.Kind != "gauge" {
+			return fail("metrics %s: series %s has kind %q, want counter or gauge",
+				path, s.Name, s.Kind)
+		}
+	}
+	prevCycle := int64(-1)
+	var prev []uint64
+	for i, w := range dump.Windows {
+		switch {
+		case w.Cycle == nil:
+			return fail("metrics %s: window %d has no cycle", path, i)
+		case *w.Cycle <= prevCycle:
+			return fail("metrics %s: window %d cycle %d not after %d", path, i, *w.Cycle, prevCycle)
+		case len(w.Values) != len(dump.Series):
+			return fail("metrics %s: window %d has %d values for %d series",
+				path, i, len(w.Values), len(dump.Series))
+		case len(w.Deltas) != len(dump.Series):
+			return fail("metrics %s: window %d has %d deltas for %d series",
+				path, i, len(w.Deltas), len(dump.Series))
+		}
+		for j, s := range dump.Series {
+			want := w.Values[j]
+			if s.Kind == "counter" && prev != nil {
+				want = 0 // a counter that regressed serializes as delta 0
+				if w.Values[j] >= prev[j] {
+					want = w.Values[j] - prev[j]
+				}
+			}
+			if w.Deltas[j] != want {
+				return fail("metrics %s: window %d series %s: delta %d, want %d",
+					path, i, s.Name, w.Deltas[j], want)
+			}
+		}
+		prevCycle, prev = *w.Cycle, w.Values
+	}
+	fmt.Printf("obscheck: metrics %s OK: %d series x %d windows (cycles %d..%d)\n",
+		path, len(dump.Series), len(dump.Windows),
+		*dump.Windows[0].Cycle, prevCycle)
+	return true
+}

@@ -12,12 +12,19 @@
 // against the controller (seeded by -seed) and fails if any injected fault
 // goes undetected without being harmless; cmd/faultprobe exposes the full
 // campaign surface.
+//
+// Observability (see EXPERIMENTS.md "Observability"): -metrics out.json
+// writes the per-window stats snapshot time series, -trace out.trace writes
+// a Chrome trace-event file of controller events (load in chrome://tracing
+// or Perfetto), and -pprof addr serves net/http/pprof while the run
+// executes. All three also work in -inject mode.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -40,8 +47,21 @@ func main() {
 		inject       = flag.Int("inject", 0, "run an N-trial fault-injection campaign instead of a simulation")
 		parallel     = flag.Int("parallel", runtime.GOMAXPROCS(0),
 			"max concurrent scheme simulations")
+		metricsOut  = flag.String("metrics", "", "write the metrics snapshot time series to this JSON file")
+		metricsIval = flag.Int64("metrics-interval", 10_000, "snapshot window in CPU cycles (with -metrics)")
+		traceOut    = flag.String("trace", "", "write controller events to this Chrome trace-event JSON file")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		addr, err := ptmc.StartPprof(*pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ptmcsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pprof: http://%s/debug/pprof/\n", addr)
+	}
 
 	if *list {
 		fmt.Println("schemes: ", strings.Join(ptmc.Schemes(), " "))
@@ -57,6 +77,8 @@ func main() {
 			Trials:  *inject,
 			Seed:    *seed,
 			Dynamic: *scheme == ptmc.SchemeDynamicPTMC,
+			Trace:   *traceOut != "",
+			Metrics: *metricsOut != "",
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ptmcsim:", err)
@@ -64,6 +86,16 @@ func main() {
 		}
 		fmt.Printf("fault campaign: %d trials, seed %d\n", len(rep.Trials), *seed)
 		fmt.Print(rep.Summary())
+		if *metricsOut != "" {
+			writeFile(*metricsOut, "metrics", rep.Metrics.WriteJSON)
+		}
+		if *traceOut != "" {
+			writeFile(*traceOut, "trace", func(w io.Writer) error {
+				return ptmc.WriteChromeTrace(w, rep.TraceEvents)
+			})
+			fmt.Printf("trace: %d events (%d dropped) -> %s\n",
+				len(rep.TraceEvents), rep.TraceDropped, *traceOut)
+		}
 		if rep.Silent != 0 {
 			fmt.Fprintf(os.Stderr, "ptmcsim: %d SILENT corruptions\n", rep.Silent)
 			os.Exit(1)
@@ -81,6 +113,10 @@ func main() {
 	cfg.DRAM.Channels = *channels
 	cfg.L3Bytes = *l3MB << 20
 	cfg.Seed = *seed
+	if *metricsOut != "" {
+		cfg.MetricsInterval = *metricsIval
+	}
+	cfg.Trace = *traceOut != ""
 
 	schemes := []string{*scheme}
 	if *baseline && *scheme != ptmc.SchemeUncompressed {
@@ -93,6 +129,16 @@ func main() {
 	}
 
 	r := results[*scheme]
+	if *metricsOut != "" {
+		writeFile(*metricsOut, "metrics", r.Metrics.WriteJSON)
+	}
+	if *traceOut != "" {
+		writeFile(*traceOut, "trace", func(w io.Writer) error {
+			return ptmc.WriteChromeTrace(w, r.TraceEvents)
+		})
+		fmt.Printf("trace: %d events (%d dropped) -> %s\n",
+			len(r.TraceEvents), r.TraceDropped, *traceOut)
+	}
 	fmt.Println(r)
 	fmt.Printf("cycles=%d instructions=%d\n", r.Cycles, r.Instructions)
 	fmt.Printf("bandwidth: demandR=%d mispredictR=%d metadataR=%d prefetchR=%d\n",
@@ -110,5 +156,21 @@ func main() {
 	if base, ok := results[ptmc.SchemeUncompressed]; ok && *scheme != ptmc.SchemeUncompressed {
 		fmt.Printf("weighted speedup over uncompressed: %.3f\n", r.WeightedSpeedupOver(base))
 		fmt.Printf("bandwidth vs uncompressed: %.3f\n", r.BandwidthOver(base))
+	}
+}
+
+// writeFile writes one observability artifact, exiting on failure so a
+// requested -metrics/-trace file is never silently missing or truncated.
+func writeFile(path, what string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err == nil {
+		err = write(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ptmcsim: write %s: %v\n", what, err)
+		os.Exit(1)
 	}
 }

@@ -28,8 +28,11 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 
 	"ptmc"
@@ -54,8 +57,24 @@ func main() {
 			"max concurrent simulations (output is identical at any value)")
 		timeout = flag.Duration("timeout", 0,
 			"per-point deadline (0 = none); timed-out points are reported, the sweep continues")
+
+		metricsOut = flag.String("metrics", "",
+			"write each point's metrics snapshot series to <name>-<label>.json")
+		metricsIval = flag.Int64("metrics-interval", 10_000, "snapshot window in CPU cycles (with -metrics)")
+		traceOut    = flag.String("trace", "",
+			"write each point's controller events to <name>-<label>.trace (Chrome trace-event JSON)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		addr, err := ptmc.StartPprof(*pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pprof: http://%s/debug/pprof/\n", addr)
+	}
 
 	base := ptmc.DefaultConfig()
 	base.Workload = *workloadName
@@ -130,6 +149,10 @@ func main() {
 				}
 				cfg := base
 				p.mutate(&cfg)
+				if *metricsOut != "" {
+					cfg.MetricsInterval = *metricsIval
+				}
+				cfg.Trace = *traceOut != ""
 				rs, err := ptmc.CompareParallel(ctx, 1, cfg,
 					ptmc.SchemeUncompressed, *scheme)
 				if err != nil {
@@ -137,6 +160,19 @@ func main() {
 				}
 				r := rs[*scheme]
 				b := rs[ptmc.SchemeUncompressed]
+				if *metricsOut != "" {
+					if err := writeFile(pointPath(*metricsOut, p.label), r.Metrics.WriteJSON); err != nil {
+						return err
+					}
+				}
+				if *traceOut != "" {
+					err := writeFile(pointPath(*traceOut, p.label), func(w io.Writer) error {
+						return ptmc.WriteChromeTrace(w, r.TraceEvents)
+					})
+					if err != nil {
+						return err
+					}
+				}
 				rows[i] = fmt.Sprintf("%-12s speedup=%.3f ipc=%.3f bw=%.3f llp=%.1f%% mpki=%.1f",
 					p.label, r.WeightedSpeedupOver(b), r.IPC(), r.BandwidthOver(b),
 					100*r.LLPAccuracy, r.MPKI)
@@ -172,4 +208,26 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// pointPath derives a per-point output file from the flag value by
+// inserting the point label before the extension.
+func pointPath(base, label string) string {
+	ext := filepath.Ext(base)
+	return strings.TrimSuffix(base, ext) + "-" + label + ext
+}
+
+// writeFile writes one observability artifact for a sweep point.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err == nil {
+		err = write(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"ptmc/internal/cache"
 	"ptmc/internal/mem"
+	"ptmc/internal/vm"
 )
 
 func TestLITInsertContainsRemove(t *testing.T) {
@@ -217,28 +218,123 @@ func TestUtilityCounterSaturation(t *testing.T) {
 
 func TestDynamicSampling(t *testing.T) {
 	d := NewDynamic(8192, 8, 0.01, false)
-	if d.SampledSets() != 81 {
-		t.Errorf("sampled sets = %d, want 81 (1%% of 8192)", d.SampledSets())
+	// Sampling is quantized to whole page runs (64 sets), rounded up, so
+	// "1%" of 8192 sets lands on two 64-set runs.
+	if got := d.SampledSets(); got < 64 || got > 160 {
+		t.Errorf("sampled sets = %d, want ~1-2%% of 8192 in page runs", got)
 	}
-	if !d.Sampled(0) || d.Sampled(81) {
-		t.Error("sampling boundary wrong")
+	sampledSet, unsampledSet := -1, -1
+	for s := 0; s < 8192; s++ {
+		if d.Sampled(s) {
+			if sampledSet < 0 {
+				sampledSet = s
+			}
+		} else if unsampledSet < 0 {
+			unsampledSet = s
+		}
+	}
+	if sampledSet < 0 || unsampledSet < 0 {
+		t.Fatalf("need both sampled and unsampled sets (got %d, %d)", sampledSet, unsampledSet)
 	}
 	// Sampled sets compress regardless of the counter.
 	for i := 0; i < counterMax; i++ {
 		d.Cost(3)
 	}
-	if !d.ShouldCompress(3, 0) {
+	if !d.ShouldCompress(3, sampledSet) {
 		t.Error("sampled set must always compress")
 	}
-	if d.ShouldCompress(3, 5000) {
+	if d.ShouldCompress(3, unsampledSet) {
 		t.Error("non-sampled set should follow the (disabled) counter")
+	}
+}
+
+// TestDynamicSamplingSpansRange: the sample must be spread across the
+// set-index space — away from the low-index region where first-touch
+// allocation concentrates hot structures — page-granular (a sampled page
+// is sampled in full, because the LLP predicts per page), and
+// deterministic from the config.
+func TestDynamicSamplingSpansRange(t *testing.T) {
+	const numSets = 8192
+	d := NewDynamic(numSets, 8, 0.01, false)
+	var sampled []int
+	for s := 0; s < numSets; s++ {
+		if d.Sampled(s) {
+			sampled = append(sampled, s)
+		}
+	}
+	if len(sampled) != d.SampledSets() {
+		t.Fatalf("enumerated %d sampled sets, SampledSets() = %d",
+			len(sampled), d.SampledSets())
+	}
+	lo, hi := sampled[0], sampled[len(sampled)-1]
+	if lo < vm.PageLines {
+		t.Errorf("lowest sampled set = %d; sample overlaps the first-touch low-address page run", lo)
+	}
+	if hi < numSets*3/4 {
+		t.Errorf("highest sampled set = %d; sample does not span the index range (numSets=%d)",
+			hi, numSets)
+	}
+	// Page-granular: every set of a sampled page-aligned run is sampled,
+	// so a sampled page's LLP entry stays self-consistent whatever the
+	// global policy (a partially sampled page would mispredict its own
+	// sampled lines whenever compression is globally disabled).
+	for _, s := range sampled {
+		base := s / vm.PageLines * vm.PageLines
+		for j := 0; j < vm.PageLines; j++ {
+			if !d.Sampled(base + j) {
+				t.Fatalf("set %d sampled but set %d of the same page run is not", s, base+j)
+			}
+		}
+	}
+	// Deterministic: an identically configured policy samples the same sets.
+	d2 := NewDynamic(numSets, 8, 0.01, false)
+	for s := 0; s < numSets; s++ {
+		if d.Sampled(s) != d2.Sampled(s) {
+			t.Fatalf("sampling not deterministic at set %d", s)
+		}
 	}
 }
 
 func TestDynamicAtLeastOneSampledSet(t *testing.T) {
 	d := NewDynamic(16, 1, 0.01, false)
-	if d.SampledSets() != 1 {
-		t.Errorf("sampled sets = %d, want at least 1", d.SampledSets())
+	if d.SampledSets() != GroupLines {
+		t.Errorf("sampled sets = %d, want one full group (%d)", d.SampledSets(), GroupLines)
+	}
+	var n int
+	for s := 0; s < 16; s++ {
+		if d.Sampled(s) {
+			n++
+		}
+	}
+	if n != GroupLines {
+		t.Errorf("enumerated %d sampled sets, want one full group (%d)", n, GroupLines)
+	}
+}
+
+func TestDynamicFlipHook(t *testing.T) {
+	d := NewDynamic(8192, 8, 0.01, false)
+	type flip struct {
+		core    int
+		enabled bool
+	}
+	var flips []flip
+	d.SetFlipHook(func(core int, enabled bool) {
+		flips = append(flips, flip{core, enabled})
+	})
+	for i := 0; i < counterMax; i++ {
+		d.Cost(2)
+	}
+	for i := 0; i < counterMax; i++ {
+		d.Benefit(5)
+	}
+	if len(flips) != 2 {
+		t.Fatalf("flips = %+v, want exactly one disable and one enable", flips)
+	}
+	if flips[0].enabled || flips[0].core != 2 {
+		t.Errorf("first flip = %+v, want disable by core 2", flips[0])
+	}
+	if !flips[1].enabled || flips[1].core != 5 {
+		t.Errorf("second flip = %+v, want enable by core 5", flips[1])
 	}
 }
 

@@ -1,5 +1,7 @@
 package core
 
+import "ptmc/internal/vm"
+
 // Dynamic-PTMC (§V): 1% of LLC sets always compress ("sampled" sets) and
 // feed a 12-bit saturating utility counter — incremented on the bandwidth
 // benefit of compression (a useful free prefetch), decremented on each cost
@@ -87,7 +89,37 @@ type Dynamic struct {
 	perCore  bool
 	counters []*UtilityCounter // one, or one per core
 	numSets  int
-	sampleHi int // sets with index < sampleHi are sampled (1% of sets)
+
+	// Sampling is page-granular and strided: the sampled always-compress
+	// regions are whole page-aligned runs of sets (one run = the PageLines
+	// consecutive sets a 4 KB page's lines map to), placed at evenly
+	// strided, mid-stride offsets across the index space.
+	//
+	// Page granularity is forced by the LLP, which predicts per *page*:
+	// if only a few groups of a page were sampled, the moment global
+	// compression is disabled those groups become compressed islands
+	// inside an otherwise-uncompressed page, the page's shared LLP entry
+	// trains to "uncompressed", and every sampled-set access mispredicts —
+	// costs without the coalescing benefits the sample exists to measure.
+	// That corrupted signal pins the counter low and the policy can never
+	// re-enable (the disabled state becomes absorbing). Sampling whole
+	// pages keeps each sampled page's LLP entry self-consistent whatever
+	// the global policy, so the cost/benefit sample stays representative.
+	//
+	// The mid-stride placement (instead of a contiguous low-index block)
+	// keeps the sample from correlating with low physical addresses,
+	// where first-touch allocation concentrates small hot structures;
+	// it is still fully deterministic from the config. Spaces too small
+	// for multiple page runs (unit-test LLCs) fall back to group-granular
+	// runs so that sampled and unsampled sets both exist.
+	sampleRuns int // number of sampled set runs
+	runSets    int // sets per run (PageLines, or GroupLines fallback)
+	runStride  int // distance between sampled runs, in runs
+	runOffset  int // first sampled run (mid-stride)
+
+	// flip observes enabled-state transitions of the utility counters
+	// (observability: Dynamic-PTMC policy flapping). Nil when unused.
+	flip func(core int, enabled bool)
 
 	// GainBenefit/GainCost are the counter steps per event. The paper's
 	// unit steps assume a billion-instruction horizon; at the laptop-scale
@@ -118,19 +150,57 @@ func NewDynamic(numSets, cores int, sampleFrac float64, perCore bool) *Dynamic {
 	for i := range d.counters {
 		d.counters[i] = NewUtilityCounter()
 	}
-	d.sampleHi = int(float64(numSets) * sampleFrac)
-	if d.sampleHi < 1 {
-		d.sampleHi = 1
+	// One sampled run spans a whole page's sets (see the field comment);
+	// group-granular runs only when the space cannot hold several page
+	// runs, so tiny configurations still have unsampled sets to steer.
+	d.runSets = vm.PageLines
+	if numSets < 4*d.runSets {
+		d.runSets = GroupLines
 	}
+	if d.runSets > numSets {
+		d.runSets = numSets
+	}
+	numRuns := numSets / d.runSets
+	if numRuns < 1 {
+		numRuns = 1
+	}
+	// Round the run count up: the run quantum is coarse (64 sets), and
+	// rounding down would leave a single run that cannot span the index
+	// space. Erring high also errs toward observing more cost events,
+	// which is the conservative direction for the no-hurt guarantee.
+	d.sampleRuns = (int(float64(numSets)*sampleFrac) + d.runSets - 1) / d.runSets
+	if d.sampleRuns < 1 {
+		d.sampleRuns = 1
+	}
+	if d.sampleRuns > numRuns {
+		d.sampleRuns = numRuns
+	}
+	d.runStride = numRuns / d.sampleRuns
+	if d.runStride < 1 {
+		d.runStride = 1
+	}
+	d.runOffset = d.runStride / 2
 	d.GainBenefit, d.GainCost = 32, 8
 	return d
 }
 
 // Sampled reports whether an LLC set is a sampled (always-compress) set.
-func (d *Dynamic) Sampled(setIndex int) bool { return setIndex < d.sampleHi }
+// Sampling is decided per page-aligned run — every set of a sampled run is
+// sampled, so a sampled page is sampled in full — and sampled runs sit at
+// mid-stride offsets spread evenly across the index space.
+func (d *Dynamic) Sampled(setIndex int) bool {
+	r := setIndex / d.runSets
+	return r%d.runStride == d.runOffset && r/d.runStride < d.sampleRuns
+}
 
-// SampledSets returns the number of sampled sets.
-func (d *Dynamic) SampledSets() int { return d.sampleHi }
+// SampledSets returns the number of sampled set indexes.
+func (d *Dynamic) SampledSets() int {
+	n := d.sampleRuns * d.runSets
+	if n > d.numSets {
+		n = d.numSets
+	}
+	return n
+}
 
 func (d *Dynamic) counter(core int) *UtilityCounter {
 	if d.perCore {
@@ -139,11 +209,30 @@ func (d *Dynamic) counter(core int) *UtilityCounter {
 	return d.counters[0]
 }
 
+// SetFlipHook registers fn to be called whenever a utility counter's
+// enabled state transitions (tracing the policy's enable/disable flips).
+// Pass nil to detach.
+func (d *Dynamic) SetFlipHook(fn func(core int, enabled bool)) { d.flip = fn }
+
 // Benefit records a benefit event attributed to core (sampled sets only).
-func (d *Dynamic) Benefit(core int) { d.counter(core).BenefitN(d.GainBenefit) }
+func (d *Dynamic) Benefit(core int) {
+	c := d.counter(core)
+	was := c.enabled
+	c.BenefitN(d.GainBenefit)
+	if c.enabled != was && d.flip != nil {
+		d.flip(core, c.enabled)
+	}
+}
 
 // Cost records a cost event attributed to core (sampled sets only).
-func (d *Dynamic) Cost(core int) { d.counter(core).CostN(d.GainCost) }
+func (d *Dynamic) Cost(core int) {
+	c := d.counter(core)
+	was := c.enabled
+	c.CostN(d.GainCost)
+	if c.enabled != was && d.flip != nil {
+		d.flip(core, c.enabled)
+	}
+}
 
 // ShouldCompress decides whether a non-sampled-set eviction by core should
 // be compressed. Sampled sets always compress regardless.

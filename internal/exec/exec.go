@@ -29,6 +29,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"time"
+
+	"ptmc/internal/obs"
 )
 
 // PanicError is the typed error a panicking job is converted into. The
@@ -84,8 +86,19 @@ type JobOptions struct {
 
 // Pool bounds the number of jobs executing concurrently. The zero Pool is
 // not usable; construct with NewPool.
+//
+// Every pool keeps two log-bucketed histograms — nanoseconds a job waited
+// for a slot, and nanoseconds each attempt ran — as its scheduling health
+// signal: a queue-wait p99 near the run-time p50 means the pool is the
+// bottleneck, not the simulations. The histograms are atomic counters, so
+// the accounting adds two clock reads per job to work that is a whole
+// simulation.
 type Pool struct {
 	sem chan struct{}
+
+	queueWait *obs.Histogram // ns blocked waiting for a worker slot
+	runTime   *obs.Histogram // ns executing, one observation per attempt
+	tr        *obs.Tracer    // optional: one KindJob span per attempt
 }
 
 // NewPool returns a pool running at most n jobs at once; n <= 0 selects
@@ -94,16 +107,32 @@ func NewPool(n int) *Pool {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	return &Pool{sem: make(chan struct{}, n)}
+	return &Pool{
+		sem:       make(chan struct{}, n),
+		queueWait: obs.NewHistogram("pool.queue_wait_ns"),
+		runTime:   obs.NewHistogram("pool.run_time_ns"),
+	}
 }
 
 // Size reports the worker count.
 func (p *Pool) Size() int { return cap(p.sem) }
 
+// QueueWait exposes the slot-wait histogram (nanoseconds per job).
+func (p *Pool) QueueWait() *obs.Histogram { return p.queueWait }
+
+// RunTime exposes the execution-time histogram (nanoseconds per attempt).
+func (p *Pool) RunTime() *obs.Histogram { return p.runTime }
+
+// SetTracer attaches a tracer that receives one job span (wall-clock
+// microseconds) per attempt; nil detaches.
+func (p *Pool) SetTracer(t *obs.Tracer) { p.tr = t }
+
 // acquire blocks until a worker slot frees up or ctx is cancelled.
 func (p *Pool) acquire(ctx context.Context) error {
+	start := time.Now()
 	select {
 	case p.sem <- struct{}{}:
+		p.queueWait.Observe(time.Since(start).Nanoseconds())
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -130,7 +159,7 @@ func (p *Pool) Run(ctx context.Context, fn func() error) error {
 		return err
 	}
 	defer p.release()
-	return safeCall(fn)
+	return p.callOnce(ctx, 0, func(context.Context) error { return fn() })
 }
 
 // RunJob executes fn on the pool under opts: a per-attempt timeout (via a
@@ -181,14 +210,26 @@ func (p *Pool) attempt(ctx context.Context, opts JobOptions, fn func(ctx context
 	return err
 }
 
-// callOnce runs one attempt with its own deadline and panic conversion.
+// callOnce runs one attempt with its own deadline, panic conversion, and
+// run-time accounting.
 func (p *Pool) callOnce(ctx context.Context, timeout time.Duration, fn func(ctx context.Context) error) error {
 	if timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
-	return safeCall(func() error { return fn(ctx) })
+	start := time.Now()
+	err := safeCall(func() error { return fn(ctx) })
+	d := time.Since(start)
+	p.runTime.Observe(d.Nanoseconds())
+	if p.tr != nil {
+		dur := d.Microseconds()
+		if dur < 1 {
+			dur = 1 // a zero-duration span renders as an instant mark
+		}
+		p.tr.Emit(obs.KindJob, start.UnixMicro(), dur, 0, 0, 0)
+	}
+	return err
 }
 
 // ForEach runs fn(ctx, i) for every i in [0, n) on the pool. The first
@@ -336,6 +377,9 @@ func (c *Cache[V]) Do(ctx context.Context, key string, fn func() (V, error)) (v 
 			}
 			close(f.done)
 		}()
+		defer func(start time.Time) {
+			c.pool.runTime.Observe(time.Since(start).Nanoseconds())
+		}(time.Now())
 		f.val, f.err = fn()
 	}()
 	return f.val, true, f.err

@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"ptmc/internal/obs"
 )
 
 func TestPoolBoundsConcurrency(t *testing.T) {
@@ -313,5 +315,38 @@ func TestRunJobRetriesRetryable(t *testing.T) {
 	})
 	if !errors.Is(err, boom) || !IsRetryable(err) || calls != 2 {
 		t.Fatalf("calls=%d err=%v, want 2 calls and wrapped terminal error", calls, err)
+	}
+}
+
+func TestPoolHistogramsAndJobTrace(t *testing.T) {
+	p := NewPool(2)
+	tr := obs.NewTracer(64)
+	p.SetTracer(tr)
+	const jobs = 8
+	err := p.ForEach(context.Background(), jobs, func(context.Context, int) error {
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.RunTime().Count(); got != jobs {
+		t.Errorf("run-time histogram count = %d, want %d", got, jobs)
+	}
+	if got := p.QueueWait().Count(); got != jobs {
+		t.Errorf("queue-wait histogram count = %d, want %d", got, jobs)
+	}
+	// Each job slept ~1ms; the run-time histogram must reflect that scale.
+	if p.RunTime().Quantile(0.5) < uint64(time.Millisecond/2) {
+		t.Errorf("run-time p50 %d ns implausibly small for 1ms jobs", p.RunTime().Quantile(0.5))
+	}
+	events := tr.Events()
+	if len(events) != jobs {
+		t.Fatalf("job trace has %d events, want %d", len(events), jobs)
+	}
+	for _, e := range events {
+		if e.Kind != obs.KindJob || e.Dur <= 0 {
+			t.Fatalf("bad job event: %+v", e)
+		}
 	}
 }

@@ -1,0 +1,150 @@
+package memctrl
+
+import (
+	"testing"
+
+	"ptmc/internal/cache"
+	"ptmc/internal/dram"
+	"ptmc/internal/mem"
+	"ptmc/internal/obs"
+)
+
+// benchRig builds a PTMC controller with a small LLC, primed so that
+// steady-state read misses of the benchmark footprint exercise the full
+// decode path (markers, LLP, decompression) without first-touch setup.
+type benchRig struct {
+	llc  *testLLC
+	ctrl *PTMC
+	now  int64
+}
+
+func newBenchRig(b testing.TB, lines int) *benchRig {
+	b.Helper()
+	d, err := dram.New(dram.DDR4())
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := cache.New(cache.Config{SizeBytes: 64 * 64, Assoc: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	llc := &testLLC{c: c}
+	img, arch := mem.NewStore(), mem.NewStore()
+	p := NewPTMC(d, img, arch, llc, 1)
+	llc.ctrl = p
+	r := &benchRig{llc: llc, ctrl: p}
+
+	// Prime: initialize and write back every line compressed, then empty
+	// the LLC so each benchmark read is a miss against compressed memory.
+	done := func(int64) {}
+	for i := 0; i < lines; i++ {
+		a := mem.LineAddr(i)
+		arch.Write(a, compressibleLine(byte(i)))
+		p.InitLine(a)
+		p.Read(0, a, r.now, done)
+		r.drain(b)
+		if e, ok := llc.Probe(a); ok {
+			e.Dirty = true
+		}
+	}
+	r.flush(b)
+	return r
+}
+
+func (r *benchRig) drain(b testing.TB) {
+	for i := 0; r.ctrl.Pending() > 0; i++ {
+		r.now += 4
+		r.ctrl.Tick(r.now)
+		if i > 1_000_000 {
+			b.Fatal("controller did not drain")
+		}
+	}
+}
+
+func (r *benchRig) flush(b testing.TB) {
+	for {
+		var victim cache.Entry
+		found := false
+		r.llc.c.ForEachValid(func(e *cache.Entry) {
+			if !found {
+				victim, found = *e, true
+			}
+		})
+		if !found {
+			return
+		}
+		r.llc.Drop(victim.Tag)
+		r.ctrl.Evict(int(victim.Core), victim, r.now)
+		r.drain(b)
+	}
+}
+
+// BenchmarkPTMCReadMiss measures the controller's steady-state read-miss
+// hot path — Read, queue, DRAM burst, decode, fill — with instrumentation
+// disabled (the shipping default) and with a tracer attached. Run with
+// -benchmem: the "tracer=off" case is the allocation budget the rest of
+// the repo holds the hot path to (see TestDisabledTracerReadPathAllocs).
+func BenchmarkPTMCReadMiss(b *testing.B) {
+	const lines = 64
+	for _, traced := range []struct {
+		name string
+		tr   *obs.Tracer
+	}{
+		{"tracer=off", nil},
+		{"tracer=on", obs.NewTracer(1 << 10)},
+	} {
+		b.Run(traced.name, func(b *testing.B) {
+			r := newBenchRig(b, lines)
+			r.ctrl.SetTracer(traced.tr)
+			done := func(int64) {}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a := mem.LineAddr(i % lines)
+				r.ctrl.Read(0, a, r.now, done)
+				r.drain(b)
+				r.llc.Drop(a) // clean drop: next iteration misses again
+				traced.tr.Reset()
+			}
+		})
+	}
+}
+
+// TestDisabledTracerReadPathAllocs pins the read-miss hot path's
+// allocation budget: with instrumentation disabled (nil tracer, the
+// shipping default) a steady-state miss may allocate only the fill
+// buffers it installs — and attaching a tracer must not add a single
+// allocation on top, because Emit appends into a pre-sized buffer.
+func TestDisabledTracerReadPathAllocs(t *testing.T) {
+	const lines = 64
+	measure := func(tr *obs.Tracer) float64 {
+		r := newBenchRig(t, lines)
+		r.ctrl.SetTracer(tr)
+		done := func(int64) {}
+		i := 0
+		// Warm the steady state (fill buffers recycle, maps settle).
+		for ; i < 4*lines; i++ {
+			a := mem.LineAddr(i % lines)
+			r.ctrl.Read(0, a, r.now, done)
+			r.drain(t)
+			r.llc.Drop(a)
+			tr.Reset()
+		}
+		return testing.AllocsPerRun(2*lines, func() {
+			a := mem.LineAddr(i % lines)
+			i++
+			r.ctrl.Read(0, a, r.now, done)
+			r.drain(t)
+			r.llc.Drop(a)
+			tr.Reset()
+		})
+	}
+	off := measure(nil)
+	on := measure(obs.NewTracer(1 << 10))
+	if off > 8 {
+		t.Errorf("disabled-instrumentation read miss: %.1f allocs/op, budget 8 (fill buffers only)", off)
+	}
+	if on > off {
+		t.Errorf("attaching a tracer added allocations: %.1f allocs/op vs %.1f disabled", on, off)
+	}
+}

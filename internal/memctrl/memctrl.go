@@ -21,6 +21,7 @@ import (
 	"ptmc/internal/compress"
 	"ptmc/internal/dram"
 	"ptmc/internal/mem"
+	"ptmc/internal/obs"
 )
 
 // DecompressCycles is the default decompression latency added to fills of
@@ -168,6 +169,10 @@ type base struct {
 	// within one ROB window — their fills share a single access to the
 	// group's home.
 	inflightReads map[mem.LineAddr][]Done
+
+	// tr receives DRAM-request and fill events; nil (the default) is the
+	// disabled tracer and costs one branch per event.
+	tr *obs.Tracer
 }
 
 func newBase(name string, d *dram.DRAM, img, arch *mem.Store, llc LLC) base {
@@ -183,6 +188,9 @@ func (b *base) Name() string { return b.name }
 
 // SetDecompressCycles overrides the decompression latency (ablations).
 func (b *base) SetDecompressCycles(n int64) { b.decompLat = n }
+
+// SetTracer attaches (or, with nil, detaches) an event tracer.
+func (b *base) SetTracer(t *obs.Tracer) { b.tr = t }
 func (b *base) Stats() *Stats               { return &b.st }
 func (b *base) DRAM() *dram.DRAM            { return b.d }
 func (b *base) Pending() int                { return b.outstanding + len(b.retry) + b.d.QueueDepth() }
@@ -224,6 +232,13 @@ func (b *base) issue(a mem.LineAddr, write bool, k kind, now int64, done Done) (
 		b.inflightReads[a] = nil
 	}
 	b.account(k)
+	if b.tr != nil {
+		ek := obs.KindDRAMRead
+		if write {
+			ek = obs.KindDRAMWrite
+		}
+		b.tr.Emit(ek, now, 0, 0, uint64(a), int64(k))
+	}
 	req := &dram.Request{Addr: a, Write: write}
 	if done != nil || !write {
 		b.outstanding++
@@ -325,6 +340,9 @@ func (b *base) checkIntegrity(a mem.LineAddr, got []byte) {
 
 // install puts a fill into the LLC.
 func (b *base) install(core int, a mem.LineAddr, dirty, prefetch bool, level cache.Level, now int64) {
+	if b.tr != nil {
+		b.tr.Emit(obs.KindFill, now, 0, core, uint64(a), int64(level))
+	}
 	b.llc.InstallFill(core, a, cache.Entry{
 		Dirty:    dirty,
 		Prefetch: prefetch,

@@ -5,6 +5,7 @@ import (
 	"ptmc/internal/core"
 	"ptmc/internal/dram"
 	"ptmc/internal/mem"
+	"ptmc/internal/obs"
 )
 
 // PTMC is the paper's controller: inline-metadata markers instead of a
@@ -89,10 +90,12 @@ func (p *PTMC) Markers() *core.MarkerGen { return p.markers }
 func (p *PTMC) Dynamic() *core.Dynamic { return p.dyn }
 
 // sampled reports whether a line belongs to a sampled (always-compress)
-// region. Sampling is group-granular — keyed on the LLC set of the group
-// base — so that every event of one compression group (eviction decision,
-// free-fetch benefit, mispredict, invalidate) is observed by the same
-// sample, which is what makes the cost/benefit counter see matched pairs.
+// region. Sampling is keyed on the LLC set of the group base and decided
+// per page-aligned run of sets, so every event of one compression group
+// (eviction decision, free-fetch benefit, mispredict, invalidate) is
+// observed by the same sample — and a sampled page is sampled in full,
+// which keeps its page-granular LLP entry self-consistent even when
+// compression is globally disabled (see core.Dynamic).
 func (p *PTMC) sampled(a mem.LineAddr) bool {
 	return p.dyn != nil && p.dyn.Sampled(p.llc.SetIndex(core.GroupBase(a)))
 }
@@ -179,6 +182,9 @@ func (p *PTMC) reKey(now int64, charge bool) bool {
 	defer func() { p.rekeyDepth-- }()
 
 	p.st.ReKeys++
+	if p.tr != nil {
+		p.tr.Emit(obs.KindReKey, now, 0, 0, 0, int64(p.rekeyDepth))
+	}
 	old := *p.markers // snapshot of the outgoing generation
 	wasInverted := map[mem.LineAddr]bool{}
 	for _, a := range p.lit.Addresses() {
@@ -221,6 +227,9 @@ func (p *PTMC) reKey(now int64, charge bool) bool {
 // traffic is not charged. Compressed units homed inside the group are
 // overwritten, which is sound: a unit's members never span groups.
 func (p *PTMC) Scrub(a mem.LineAddr) {
+	if p.tr != nil {
+		p.tr.Emit(obs.KindScrub, 0, 0, 0, uint64(core.GroupBase(a)), 0)
+	}
 	for _, m := range core.MembersAt(core.GroupBase(a), cache.Comp4) {
 		p.writeRaw(m, p.arch.Read(m), 0, false, kDirtyWrite)
 		if e, in := p.llc.Probe(m); in {
@@ -295,13 +304,31 @@ func (p *PTMC) tryRead(core_ int, a, home mem.LineAddr, counted bool,
 			}
 			if core.Covers(home, level, a) {
 				if coalesced && len(tried) == 1 {
-					// This demand was served by a burst already in
-					// flight for a co-located neighbor: the free-fetch
-					// benefit, observed directly.
-					p.st.UsefulFreePf++
-					if p.sampled(a) {
-						p.dyn.Benefit(core_)
+					if e, in := p.llc.Probe(a); in {
+						// This demand was served by a burst already in
+						// flight for a co-located neighbor: the primary
+						// fill installed the whole unit, so this is a
+						// coalesced completion — the free-fetch benefit,
+						// observed directly. Consume the prefetch bit so
+						// one free fetch feeds the utility counter exactly
+						// once (a later demand hit must not recount it via
+						// OnDemandHit), and leave the fill counters to the
+						// primary that did the work. The unit's decode did
+						// reveal where this line lives, so the predictor
+						// still trains — uncounted, because no prediction
+						// was exercised by a separate DRAM access.
+						p.st.UsefulFreePf++
+						if p.sampled(a) {
+							p.dyn.Benefit(core_)
+						}
+						p.llp.Record(a, level, false, false)
+						e.Prefetch = false
+						done(c + p.decompLat)
+						return
 					}
+					// Coalesced but the primary did not install the demand
+					// line (its own probe of this home missed): this fill
+					// is real work, accounted normally below.
 				}
 				p.fillCompressed(core_, a, home, level, data, counted, len(tried) == 1, c, done)
 				return
@@ -394,6 +421,9 @@ func (p *PTMC) fillUncompressed(core_ int, a mem.LineAddr, data []byte,
 // opportunistic (re)compression within the 60-byte budget, Marker-IL
 // tombstones for locations that go stale, and LIT maintenance.
 func (p *PTMC) Evict(core_ int, e cache.Entry, now int64) {
+	if p.tr != nil {
+		p.tr.Emit(obs.KindEvict, now, 0, int(e.Core), uint64(e.Tag), int64(e.Level))
+	}
 	compressing := true
 	if p.dyn != nil {
 		compressing = p.dyn.ShouldCompress(int(e.Core), p.llc.SetIndex(core.GroupBase(e.Tag)))

@@ -1,0 +1,65 @@
+package obs
+
+import "testing"
+
+// The disabled (nil) instrumentation must cost nothing but the branch:
+// the root bench_test.go guards the integrated hot paths; these pin the
+// package primitives directly.
+
+func BenchmarkNilTracerEmit(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(KindDRAMRead, int64(i), 0, 0, uint64(i), 0)
+	}
+	if testing.AllocsPerRun(100, func() {
+		tr.Emit(KindFill, 1, 0, 0, 64, 0)
+	}) != 0 {
+		b.Fatal("nil tracer Emit allocates")
+	}
+}
+
+func BenchmarkNilHistogramObserve(b *testing.B) {
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+	if testing.AllocsPerRun(100, func() { h.Observe(7) }) != 0 {
+		b.Fatal("nil histogram Observe allocates")
+	}
+}
+
+func BenchmarkNilRegistrySnapshot(b *testing.B) {
+	var r *Registry
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Snapshot(int64(i))
+	}
+	if testing.AllocsPerRun(100, func() { r.Snapshot(1) }) != 0 {
+		b.Fatal("nil registry Snapshot allocates")
+	}
+}
+
+func BenchmarkEnabledTracerEmit(b *testing.B) {
+	tr := NewTracer(b.N + 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(KindDRAMRead, int64(i), 0, 0, uint64(i), 0)
+	}
+}
+
+func BenchmarkRegistrySnapshot16Series(b *testing.B) {
+	reg := NewRegistry()
+	var v uint64
+	for i := 0; i < 16; i++ {
+		reg.Counter("s", nil, func() uint64 { return v })
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v++
+		reg.Snapshot(int64(i))
+	}
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"strings"
+	"sync/atomic"
+)
+
+// histBuckets is enough log2 buckets to cover int64 nanoseconds: bucket i
+// holds observations v with bits.Len64(v) == i, i.e. [2^(i-1), 2^i).
+const histBuckets = 64
+
+// Histogram is a lock-free log2-bucketed histogram for latency-style
+// values (the experiment engine's queue-wait and run-time accounting).
+// A nil *Histogram is the disabled histogram: Observe is a branch and a
+// return. All methods are safe for concurrent use.
+type Histogram struct {
+	name    string
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+}
+
+// NewHistogram builds a named histogram.
+func NewHistogram(name string) *Histogram { return &Histogram{name: name} }
+
+// Name returns the histogram's name ("" on nil).
+func (h *Histogram) Name() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}
+
+// Observe records one value. Negative values clamp to zero. Safe (and
+// allocation-free) on a nil histogram.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+	h.count.Add(1)
+	h.sum.Add(uint64(v))
+	for {
+		cur := h.max.Load()
+		if uint64(v) <= cur || h.max.CompareAndSwap(cur, uint64(v)) {
+			break
+		}
+	}
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reports the running total of observed values.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Max reports the largest observed value.
+func (h *Histogram) Max() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Quantile returns an upper bound for the q-quantile (0 <= q <= 1): the
+// top edge of the bucket holding the q-th observation. Exact enough for
+// "p99 queue wait" reporting without storing samples.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(total))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			if i == 0 {
+				return 0
+			}
+			return 1<<uint(i) - 1
+		}
+	}
+	return h.max.Load()
+}
+
+// String renders a one-line summary: name, count, mean, p50/p99, max.
+func (h *Histogram) String() string {
+	if h == nil {
+		return "<nil histogram>"
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return fmt.Sprintf("%s: empty", h.name)
+	}
+	return fmt.Sprintf("%s: n=%d mean=%d p50<=%d p99<=%d max=%d",
+		h.name, n, h.sum.Load()/n, h.Quantile(0.50), h.Quantile(0.99), h.max.Load())
+}
+
+// WriteTo writes the non-empty buckets as "bucket_upper count" lines plus
+// the summary line; used by the CLIs' -metrics output for pool histograms.
+func (h *Histogram) WriteTo(w io.Writer) (int64, error) {
+	if h == nil {
+		return 0, nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", h.String())
+	for i := 0; i < histBuckets; i++ {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		var hi uint64
+		if i > 0 {
+			hi = 1<<uint(i) - 1
+		}
+		fmt.Fprintf(&b, "  <=%d: %d\n", hi, c)
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}

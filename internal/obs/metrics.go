@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// A series is one named, labeled metric backed by a read closure over the
+// owning subsystem's stats field. Counters export per-window deltas in
+// addition to cumulative values; gauges export the sampled value as-is.
+type series struct {
+	name    string
+	labels  map[string]string
+	read    func() uint64
+	isGauge bool
+}
+
+// Registry holds the named series for one run and takes periodic snapshots
+// of all of them on the simulator's cycle clock. A nil *Registry is the
+// disabled registry: every method is a no-op, Snapshot allocates nothing.
+//
+// The registry is single-goroutine by design: each Simulator owns its own
+// registry (per-run isolation is what keeps CompareParallel output
+// byte-identical at any -parallel level), and the cycle loop is the only
+// caller.
+type Registry struct {
+	series    []series
+	snapshots []SnapshotRow
+	buf       []uint64 // flat backing store, one len(series) stripe per snapshot
+}
+
+// SnapshotRow is the registry's state at one instant: every series' value,
+// in registration order.
+type SnapshotRow struct {
+	Cycle  int64
+	Values []uint64
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{}
+}
+
+// Counter registers a monotonically-nondecreasing series. The read closure
+// is called at every snapshot; it must be cheap and must not allocate.
+// Labels are copied. No-op on a nil registry.
+func (r *Registry) Counter(name string, labels map[string]string, read func() uint64) {
+	r.register(name, labels, read, false)
+}
+
+// Gauge registers a point-in-time series (queue depth, counter value).
+func (r *Registry) Gauge(name string, labels map[string]string, read func() uint64) {
+	r.register(name, labels, read, true)
+}
+
+func (r *Registry) register(name string, labels map[string]string, read func() uint64, gauge bool) {
+	if r == nil || read == nil {
+		return
+	}
+	cp := make(map[string]string, len(labels))
+	for k, v := range labels {
+		cp[k] = v
+	}
+	r.series = append(r.series, series{name: name, labels: cp, read: read, isGauge: gauge})
+}
+
+// Snapshot samples every series at the given cycle. Amortised allocation:
+// the backing store grows geometrically, so steady-state snapshots are a
+// loop of closure calls plus slice bookkeeping.
+func (r *Registry) Snapshot(cycle int64) {
+	if r == nil || len(r.series) == 0 {
+		return
+	}
+	n := len(r.series)
+	start := len(r.buf)
+	if cap(r.buf)-start < n {
+		grown := make([]uint64, start, 2*(start+n))
+		copy(grown, r.buf)
+		// Re-point prior rows at the new store so old backing memory frees.
+		off := 0
+		for i := range r.snapshots {
+			r.snapshots[i].Values = grown[off : off+n : off+n]
+			off += n
+		}
+		r.buf = grown
+	}
+	r.buf = r.buf[:start+n]
+	row := r.buf[start : start+n : start+n]
+	for i := range r.series {
+		row[i] = r.series[i].read()
+	}
+	r.snapshots = append(r.snapshots, SnapshotRow{Cycle: cycle, Values: row})
+}
+
+// Reset drops recorded snapshots (end of warmup); series stay registered.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.snapshots = r.snapshots[:0]
+	r.buf = r.buf[:0]
+}
+
+// SeriesDesc describes one registered series in an export.
+type SeriesDesc struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Gauge  bool              `json:"gauge,omitempty"`
+}
+
+// MetricsDump is a pure-data export of a registry: the series descriptors
+// plus every snapshot row. It is what sim.Result carries (keeping Result
+// free of live closures) and what WriteJSON serialises.
+type MetricsDump struct {
+	Series    []SeriesDesc
+	Snapshots []SnapshotRow
+}
+
+// Export copies the registry's current state into a MetricsDump. A nil
+// registry (or one with no snapshots) exports nil.
+func (r *Registry) Export() *MetricsDump {
+	if r == nil || len(r.snapshots) == 0 {
+		return nil
+	}
+	d := &MetricsDump{
+		Series:    make([]SeriesDesc, len(r.series)),
+		Snapshots: make([]SnapshotRow, len(r.snapshots)),
+	}
+	for i, s := range r.series {
+		d.Series[i] = SeriesDesc{Name: s.name, Labels: s.labels, Gauge: s.isGauge}
+	}
+	for i, row := range r.snapshots {
+		d.Snapshots[i] = SnapshotRow{
+			Cycle:  row.Cycle,
+			Values: append([]uint64(nil), row.Values...),
+		}
+	}
+	return d
+}
+
+// labelKey renders labels deterministically ({k=v,k=v} sorted by key).
+func labelKey(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WriteJSON serialises the dump: a "series" array of descriptors and a
+// "windows" array with, per snapshot, the cycle, every cumulative value,
+// and — for counters — the delta over the previous window. Output is
+// deterministic (series in registration order, labels sorted).
+func (d *MetricsDump) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if d == nil || len(d.Snapshots) == 0 {
+		if _, err := bw.WriteString("{\"series\":[],\"windows\":[]}\n"); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+	if _, err := bw.WriteString("{\n \"series\": [\n"); err != nil {
+		return err
+	}
+	for i, s := range d.Series {
+		sep := ","
+		if i == len(d.Series)-1 {
+			sep = ""
+		}
+		kind := "counter"
+		if s.Gauge {
+			kind = "gauge"
+		}
+		if _, err := fmt.Fprintf(bw, "  {\"name\":%q,\"labels\":%q,\"kind\":%q}%s\n",
+			s.Name, labelKey(s.Labels), kind, sep); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString(" ],\n \"windows\": [\n"); err != nil {
+		return err
+	}
+	for i, row := range d.Snapshots {
+		sep := ","
+		if i == len(d.Snapshots)-1 {
+			sep = ""
+		}
+		if _, err := fmt.Fprintf(bw, "  {\"cycle\":%d,\"values\":[", row.Cycle); err != nil {
+			return err
+		}
+		for j, v := range row.Values {
+			if j > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(bw, "%d", v); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString("],\"deltas\":["); err != nil {
+			return err
+		}
+		for j, v := range row.Values {
+			var delta uint64
+			if d.Series[j].Gauge {
+				delta = v // gauges have no meaningful delta; re-export the value
+			} else if i == 0 {
+				delta = v
+			} else {
+				prev := d.Snapshots[i-1].Values[j]
+				if v >= prev {
+					delta = v - prev
+				}
+			}
+			if j > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(bw, "%d", delta); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(bw, "]}%s\n", sep); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString(" ]\n}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,22 @@
+// Package obs is the repo's zero-dependency observability layer: a typed
+// metrics registry that turns the per-scheme Stats structs into named,
+// labeled time series (counter deltas per cycle window, not just end-of-run
+// totals), an event tracer that emits Chrome-trace-format JSON (and a
+// compact JSONL stream) for DRAM requests, fills, evictions, re-keys,
+// scrubs, and dynamic-policy flips, log-bucketed histograms for the
+// experiment engine's queue-wait/run-time accounting, and a pprof helper
+// for the CLIs.
+//
+// Everything in this package is nil-tolerant: a nil *Tracer, *Registry, or
+// *Histogram is the disabled instrumentation, and every method on one is a
+// no-op that allocates nothing. Hot paths (the memory controller's issue
+// and fill loops, the simulator's cycle loop) call straight through the nil
+// check, so a run without -metrics/-trace pays one predictable branch per
+// event and zero allocations — bench_test.go at the repo root guards this.
+//
+// The paper's entire evaluation is event accounting (Figure 4/14 bandwidth
+// stacks, Figure 9 LLP accuracy, Figure 16 cost/benefit events); this
+// package is what makes those events observable over time — Dynamic-PTMC
+// enable/disable flapping, LLP accuracy drift, DRAM queue occupancy —
+// instead of only as end-of-run sums.
+package obs

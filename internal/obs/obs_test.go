@@ -1,0 +1,266 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestNilInstrumentationIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(KindFill, 1, 0, 0, 0x40, 4)
+	tr.Reset()
+	if got := tr.Events(); got != nil {
+		t.Fatalf("nil tracer Events = %v, want nil", got)
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("nil tracer Dropped != 0")
+	}
+
+	var reg *Registry
+	reg.Counter("x", nil, func() uint64 { return 1 })
+	reg.Gauge("y", nil, func() uint64 { return 2 })
+	reg.Snapshot(100)
+	reg.Reset()
+	if d := reg.Export(); d != nil {
+		t.Fatalf("nil registry Export = %v, want nil", d)
+	}
+
+	var h *Histogram
+	h.Observe(42)
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("nil histogram not zero-valued")
+	}
+	if _, err := h.WriteTo(&bytes.Buffer{}); err != nil {
+		t.Fatalf("nil histogram WriteTo: %v", err)
+	}
+}
+
+func TestTracerRecordsAndBounds(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 5; i++ {
+		tr.Emit(KindDRAMRead, int64(i), 0, i, uint64(i*64), 0)
+	}
+	ev := tr.Events()
+	if len(ev) != 3 {
+		t.Fatalf("len(events) = %d, want 3 (capacity)", len(ev))
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", tr.Dropped())
+	}
+	for i, e := range ev {
+		if e.TS != int64(i) || e.Kind != KindDRAMRead || e.Core != int32(i) {
+			t.Fatalf("event %d = %+v", i, e)
+		}
+	}
+	tr.Reset()
+	if len(tr.Events()) != 0 || tr.Dropped() != 0 {
+		t.Fatalf("reset did not clear tracer")
+	}
+}
+
+func TestKindNamesRoundTrip(t *testing.T) {
+	for _, k := range Kinds() {
+		name := k.String()
+		if strings.Contains(name, "kind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+		back, err := ParseKind(name)
+		if err != nil || back != k {
+			t.Fatalf("ParseKind(%q) = %v, %v; want %v", name, back, err, k)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Fatalf("ParseKind(bogus) succeeded")
+	}
+}
+
+func TestWriteChromeTraceParses(t *testing.T) {
+	tr := NewTracer(0)
+	tr.Emit(KindDRAMRead, 10, 0, 1, 0x1000, 0)
+	tr.Emit(KindJob, 20, 5, 2, 0, 7)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr.Events()); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var parsed []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(parsed) != 2 {
+		t.Fatalf("parsed %d events, want 2", len(parsed))
+	}
+	if parsed[0]["ph"] != "i" || parsed[0]["name"] != "dram-read" {
+		t.Fatalf("instant event mis-rendered: %v", parsed[0])
+	}
+	if parsed[1]["ph"] != "X" || parsed[1]["dur"] != float64(5) {
+		t.Fatalf("complete event mis-rendered: %v", parsed[1])
+	}
+}
+
+func TestWriteJSONLParsesPerLine(t *testing.T) {
+	events := []Event{
+		{TS: 1, Kind: KindFill, Core: 0, Addr: 64, Arg: 4},
+		{TS: 2, Kind: KindEvict, Core: 3, Addr: 128},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, events); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	for i, ln := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(ln), &m); err != nil {
+			t.Fatalf("line %d is not JSON: %v\n%s", i, err, ln)
+		}
+	}
+	var m map[string]any
+	_ = json.Unmarshal([]byte(lines[0]), &m)
+	if m["kind"] != "fill" || m["arg"] != float64(4) {
+		t.Fatalf("line 0 = %v", m)
+	}
+}
+
+func TestRegistrySnapshotsAndDeltas(t *testing.T) {
+	var ctr uint64
+	var gauge uint64
+	reg := NewRegistry()
+	reg.Counter("reads", map[string]string{"scheme": "ptmc"}, func() uint64 { return ctr })
+	reg.Gauge("queue", nil, func() uint64 { return gauge })
+
+	ctr, gauge = 5, 2
+	reg.Snapshot(1000)
+	ctr, gauge = 12, 1
+	reg.Snapshot(2000)
+
+	d := reg.Export()
+	if d == nil || len(d.Snapshots) != 2 || len(d.Series) != 2 {
+		t.Fatalf("export = %+v", d)
+	}
+	if d.Snapshots[0].Cycle != 1000 || d.Snapshots[1].Values[0] != 12 {
+		t.Fatalf("snapshot rows wrong: %+v", d.Snapshots)
+	}
+
+	// Export must be a copy: later snapshots may not mutate it.
+	ctr = 100
+	reg.Snapshot(3000)
+	if d.Snapshots[1].Values[0] != 12 {
+		t.Fatalf("export aliased live registry storage")
+	}
+
+	var buf bytes.Buffer
+	if err := reg.Export().WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var parsed struct {
+		Series []struct {
+			Name   string `json:"name"`
+			Labels string `json:"labels"`
+			Kind   string `json:"kind"`
+		} `json:"series"`
+		Windows []struct {
+			Cycle  int64    `json:"cycle"`
+			Values []uint64 `json:"values"`
+			Deltas []uint64 `json:"deltas"`
+		} `json:"windows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("metrics JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if len(parsed.Windows) != 3 {
+		t.Fatalf("got %d windows, want 3", len(parsed.Windows))
+	}
+	if parsed.Series[0].Labels != "{scheme=ptmc}" || parsed.Series[0].Kind != "counter" {
+		t.Fatalf("series 0 = %+v", parsed.Series[0])
+	}
+	if parsed.Series[1].Kind != "gauge" {
+		t.Fatalf("series 1 = %+v", parsed.Series[1])
+	}
+	// Window 0 delta = value; window 1 delta = 12-5 = 7; gauge delta = value.
+	if parsed.Windows[0].Deltas[0] != 5 || parsed.Windows[1].Deltas[0] != 7 {
+		t.Fatalf("counter deltas = %v %v", parsed.Windows[0].Deltas, parsed.Windows[1].Deltas)
+	}
+	if parsed.Windows[1].Deltas[1] != 1 {
+		t.Fatalf("gauge delta = %d, want re-exported value 1", parsed.Windows[1].Deltas[1])
+	}
+}
+
+func TestRegistryResetKeepsSeries(t *testing.T) {
+	var v uint64
+	reg := NewRegistry()
+	reg.Counter("c", nil, func() uint64 { return v })
+	v = 3
+	reg.Snapshot(1)
+	reg.Reset()
+	if d := reg.Export(); d != nil {
+		t.Fatalf("export after reset = %+v, want nil", d)
+	}
+	v = 9
+	reg.Snapshot(2)
+	d := reg.Export()
+	if len(d.Snapshots) != 1 || d.Snapshots[0].Values[0] != 9 {
+		t.Fatalf("series lost across reset: %+v", d)
+	}
+}
+
+func TestEmptyDumpWritesValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	var d *MetricsDump
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON(nil): %v", err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("empty dump is not JSON: %v", err)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	h := NewHistogram("wait")
+	for _, v := range []int64{0, 1, 1, 3, 100, 1000, -5} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d, want 7", h.Count())
+	}
+	if h.Sum() != 1105 {
+		t.Fatalf("sum = %d, want 1105", h.Sum())
+	}
+	if h.Max() != 1000 {
+		t.Fatalf("max = %d, want 1000", h.Max())
+	}
+	if q := h.Quantile(0.5); q > 3 {
+		t.Fatalf("p50 bound = %d, want <= 3", q)
+	}
+	if q := h.Quantile(1.0); q < 1000 {
+		t.Fatalf("p100 bound = %d, want >= 1000", q)
+	}
+	var buf bytes.Buffer
+	if _, err := h.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if !strings.Contains(buf.String(), "wait: n=7") {
+		t.Fatalf("summary missing: %s", buf.String())
+	}
+}
+
+func TestStartPprofServes(t *testing.T) {
+	addr, err := StartPprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("StartPprof: %v", err)
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/cmdline", addr))
+	if err != nil {
+		t.Fatalf("GET pprof: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof status = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,30 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// StartPprof serves the standard net/http/pprof endpoints on addr (e.g.
+// "localhost:6060") in a background goroutine and returns the bound
+// address, so callers may pass ":0" for an ephemeral port. The listener
+// lives for the life of the process — profiling is a whole-run concern for
+// these CLIs, so there is nothing to tear down.
+func StartPprof(addr string) (string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: pprof listen %s: %w", addr, err)
+	}
+	go func() {
+		_ = http.Serve(ln, mux) // exits when the process does
+	}()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Kind classifies a trace event. The enum is the event's "category" in the
+// exported trace; String names are stable (scripts/smoke.sh greps them).
+type Kind uint8
+
+// Event kinds.
+const (
+	KindDRAMRead   Kind = iota // one DRAM read burst issued
+	KindDRAMWrite              // one DRAM write burst issued
+	KindFill                   // a demand fill completed (arg = compression level)
+	KindEvict                  // an LLC eviction entered the controller
+	KindReKey                  // a LIT-overflow marker re-key
+	KindScrub                  // a RAS-style scrub of one compression group
+	KindPolicyFlip             // a Dynamic-PTMC counter crossed its threshold (arg: 1=enable 0=disable)
+	KindJob                    // one experiment-engine job span (ts/dur in wall µs)
+	numKinds
+)
+
+var kindNames = [...]string{
+	KindDRAMRead:   "dram-read",
+	KindDRAMWrite:  "dram-write",
+	KindFill:       "fill",
+	KindEvict:      "evict",
+	KindReKey:      "rekey",
+	KindScrub:      "scrub",
+	KindPolicyFlip: "policy-flip",
+	KindJob:        "job",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Kinds lists every event kind (validators, tests).
+func Kinds() []Kind {
+	out := make([]Kind, numKinds)
+	for i := range out {
+		out[i] = Kind(i)
+	}
+	return out
+}
+
+// ParseKind resolves a kind name ("dram-read", "fill", ...).
+func ParseKind(name string) (Kind, error) {
+	for i, n := range kindNames {
+		if n == name {
+			return Kind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("obs: unknown event kind %q", name)
+}
+
+// Event is one traced occurrence. TS is in CPU cycles for simulation events
+// and wall-clock microseconds for KindJob spans; Dur is zero for
+// instantaneous events. The struct is fixed-size so recording an event is a
+// slice append — no per-event allocation.
+type Event struct {
+	TS   int64  `json:"ts"`
+	Dur  int64  `json:"dur,omitempty"`
+	Kind Kind   `json:"-"`
+	Core int32  `json:"core"`
+	Addr uint64 `json:"addr"`
+	Arg  int64  `json:"arg"`
+}
+
+// DefaultTraceCapacity bounds a tracer's buffer when the caller does not
+// choose one: 1M events ≈ 40 MB, far beyond a quickstart horizon.
+const DefaultTraceCapacity = 1 << 20
+
+// Tracer records events into a bounded in-memory buffer. A nil *Tracer is
+// the disabled tracer: Emit on it is a branch and a return, nothing more.
+// The tracer is goroutine-safe (the experiment engine emits job spans from
+// worker goroutines); simulation hot paths are single-goroutine and pay an
+// uncontended lock only when tracing is enabled.
+type Tracer struct {
+	mu      sync.Mutex
+	events  []Event
+	cap     int
+	dropped uint64
+}
+
+// NewTracer builds a tracer holding at most capacity events (<= 0 selects
+// DefaultTraceCapacity). Events past capacity are counted, not stored.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{cap: capacity}
+}
+
+// Emit records one event. Safe (and free) on a nil tracer.
+func (t *Tracer) Emit(k Kind, ts, dur int64, core int, addr uint64, arg int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.events) >= t.cap {
+		t.dropped++
+	} else {
+		t.events = append(t.events, Event{TS: ts, Dur: dur, Kind: k, Core: int32(core), Addr: addr, Arg: arg})
+	}
+	t.mu.Unlock()
+}
+
+// Reset drops every recorded event (end of warmup).
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = t.events[:0]
+	t.dropped = 0
+	t.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events in emission order. A nil
+// tracer returns nil.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// Dropped reports events lost to the capacity bound.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// CountByKind tallies recorded events per kind.
+func CountByKind(events []Event) map[Kind]int {
+	out := make(map[Kind]int)
+	for _, e := range events {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// WriteChromeTrace writes events as a Chrome-trace-format JSON array,
+// openable in chrome://tracing or Perfetto. Simulation timestamps are CPU
+// cycles rendered as microseconds (the viewer's time unit); relative
+// spacing is what matters. Events with a duration render as complete ("X")
+// slices, instantaneous ones as instant ("i") marks. The pid groups a run
+// (always 0 here), the tid is the core (or worker) the event belongs to.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("[\n"); err != nil {
+		return err
+	}
+	for i, e := range events {
+		sep := ","
+		if i == len(events)-1 {
+			sep = ""
+		}
+		var err error
+		if e.Dur > 0 {
+			_, err = fmt.Fprintf(bw,
+				`{"name":%q,"cat":%q,"ph":"X","ts":%d,"dur":%d,"pid":0,"tid":%d,"args":{"addr":%d,"arg":%d}}%s`+"\n",
+				e.Kind, e.Kind, e.TS, e.Dur, e.Core, e.Addr, e.Arg, sep)
+		} else {
+			_, err = fmt.Fprintf(bw,
+				`{"name":%q,"cat":%q,"ph":"i","s":"t","ts":%d,"pid":0,"tid":%d,"args":{"addr":%d,"arg":%d}}%s`+"\n",
+				e.Kind, e.Kind, e.TS, e.Core, e.Addr, e.Arg, sep)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("]\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteJSONL writes events as a compact JSONL stream: one self-contained
+// JSON object per line, cheap to grep and to stream-parse.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range events {
+		if _, err := fmt.Fprintf(bw,
+			`{"ts":%d,"dur":%d,"kind":%q,"core":%d,"addr":%d,"arg":%d}`+"\n",
+			e.TS, e.Dur, e.Kind, e.Core, e.Addr, e.Arg); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

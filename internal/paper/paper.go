@@ -144,6 +144,11 @@ func NewParallelRunner(opts Options, out io.Writer, parallel int) *Runner {
 // Parallelism reports the worker-pool size.
 func (r *Runner) Parallelism() int { return r.pool.Size() }
 
+// Pool exposes the runner's worker pool; its queue-wait and run-time
+// histograms summarize how the simulation fan-out scheduled after a run
+// (cmd/paperbench -poolstats).
+func (r *Runner) Pool() *exec.Pool { return r.pool }
+
 // Job names one simulation: the (workload, scheme, variant) cache key plus
 // the config mutation the variant implies. Mutate may be nil.
 type Job struct {

@@ -62,6 +62,17 @@ type Config struct {
 	MeasureInstr int64
 
 	Seed int64
+
+	// Observability (internal/obs). MetricsInterval > 0 snapshots every
+	// registered stats series each MetricsInterval CPU cycles during the
+	// measured window; the time series lands in Result.Metrics. Trace
+	// records controller events (DRAM requests, fills, evictions, re-keys,
+	// scrubs, policy flips) into Result.TraceEvents; TraceCapacity bounds
+	// the buffer (0 = obs.DefaultTraceCapacity). Both default off, which
+	// keeps the simulation hot paths allocation-free.
+	MetricsInterval int64
+	Trace           bool
+	TraceCapacity   int
 }
 
 // Default returns the paper's Table I system configuration with a

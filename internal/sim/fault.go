@@ -10,6 +10,7 @@ import (
 	"ptmc/internal/fault"
 	"ptmc/internal/mem"
 	"ptmc/internal/memctrl"
+	"ptmc/internal/obs"
 	"ptmc/internal/workload"
 )
 
@@ -79,6 +80,16 @@ type FaultConfig struct {
 	Seed        int64        // RNG seed; (Seed, Trials) replays exactly (default 1)
 	Kinds       []fault.Kind // fault kinds to draw from (default: all)
 	Dynamic     bool         // attack Dynamic-PTMC instead of static PTMC
+
+	// Observability (internal/obs). Trace attaches an event tracer to the
+	// controller under attack — scrubs, re-keys, evictions, and DRAM traffic
+	// land in FaultReport.TraceEvents (TraceCapacity bounds the buffer; 0 =
+	// obs.DefaultTraceCapacity). Metrics snapshots the campaign's detection
+	// counters after every adjudicated trial, one window per trial, into
+	// FaultReport.Metrics. Both default off and cost nothing when off.
+	Trace         bool
+	TraceCapacity int
+	Metrics       bool
 }
 
 func (c *FaultConfig) setDefaults() {
@@ -114,6 +125,13 @@ type FaultReport struct {
 
 	Stats    memctrl.Stats // controller counters at campaign end
 	Verified int           // lines verified by the final VerifyImage pass
+
+	// Observability output (nil/empty unless enabled in FaultConfig): one
+	// metrics window per adjudicated trial, plus the controller event
+	// stream recorded during the campaign.
+	Metrics      *obs.MetricsDump
+	TraceEvents  []obs.Event
+	TraceDropped uint64
 }
 
 // Summary renders the per-kind outcome table.
@@ -374,6 +392,33 @@ func RunFaultCampaign(ctx context.Context, cfg FaultConfig) (*FaultReport, error
 	})
 
 	rep := &FaultReport{Config: cfg}
+
+	var tr *obs.Tracer
+	if cfg.Trace {
+		tr = obs.NewTracer(cfg.TraceCapacity)
+		p.SetTracer(tr)
+	}
+	var reg *obs.Registry
+	if cfg.Metrics {
+		reg = obs.NewRegistry()
+		lbl := map[string]string{"campaign": "static"}
+		if cfg.Dynamic {
+			lbl["campaign"] = "dynamic"
+		}
+		st := p.Stats()
+		reg.Counter("fault.trials", lbl, func() uint64 { return uint64(len(rep.Trials)) })
+		reg.Counter("fault.detected_counter", lbl, func() uint64 { return uint64(rep.DetectedCounter) })
+		reg.Counter("fault.detected_verify", lbl, func() uint64 { return uint64(rep.DetectedVerify) })
+		reg.Counter("fault.harmless", lbl, func() uint64 { return uint64(rep.Harmless) })
+		reg.Counter("fault.silent", lbl, func() uint64 { return uint64(rep.Silent) })
+		reg.Counter("fault.integrity_errs", lbl, func() uint64 { return st.IntegrityErrs })
+		reg.Counter("fault.undecodable_units", lbl, func() uint64 { return st.UndecodableUnits })
+		reg.Counter("fault.fallback_reads", lbl, func() uint64 { return st.FallbackReads })
+		reg.Counter("fault.lit_spills", lbl, func() uint64 { return st.LITSpills })
+		reg.Counter("fault.rekeys", lbl, func() uint64 { return st.ReKeys })
+		reg.Counter("fault.inversions", lbl, func() uint64 { return st.Inversions })
+	}
+
 	record := func(t FaultTrial) {
 		rep.Trials = append(rep.Trials, t)
 		switch t.Outcome {
@@ -458,6 +503,9 @@ func RunFaultCampaign(ctx context.Context, cfg FaultConfig) (*FaultReport, error
 			return rep, fmt.Errorf("fault campaign: scrub after trial %d (%v) did not restore the image: %w",
 				trial, inj, verr)
 		}
+		// One metrics window per adjudicated trial, stamped with the rig's
+		// drain clock (monotone across trials).
+		reg.Snapshot(r.now)
 	}
 
 	// Final health check: drain, verify, and record the controller state.
@@ -470,6 +518,13 @@ func RunFaultCampaign(ctx context.Context, cfg FaultConfig) (*FaultReport, error
 	}
 	rep.Verified = n
 	rep.Stats = *p.Stats()
+	if reg != nil {
+		rep.Metrics = reg.Export()
+	}
+	if tr != nil {
+		rep.TraceEvents = tr.Events()
+		rep.TraceDropped = tr.Dropped()
+	}
 	return rep, nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"ptmc/internal/energy"
 	"ptmc/internal/exec"
 	"ptmc/internal/memctrl"
+	"ptmc/internal/obs"
 	"ptmc/internal/stats"
 )
 
@@ -36,6 +37,15 @@ type Result struct {
 
 	MCacheHitRate float64
 	HasMCache     bool
+
+	// Observability output (nil/empty unless enabled in Config). Metrics
+	// is the snapshot time series (Config.MetricsInterval); TraceEvents is
+	// the recorded event stream (Config.Trace). Both are pure data, so a
+	// Result is identical whether the run executed serially or under
+	// CompareParallel.
+	Metrics      *obs.MetricsDump
+	TraceEvents  []obs.Event
+	TraceDropped uint64
 }
 
 // IPC returns the aggregate instructions per cycle.

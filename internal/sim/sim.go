@@ -14,6 +14,7 @@ import (
 	"ptmc/internal/energy"
 	"ptmc/internal/mem"
 	"ptmc/internal/memctrl"
+	"ptmc/internal/obs"
 	"ptmc/internal/vm"
 	"ptmc/internal/workload"
 )
@@ -51,6 +52,12 @@ type Simulator struct {
 	now         int64
 	windowStart int64
 	fatal       error
+
+	// Per-run observability. Each simulator owns its own registry and
+	// tracer — per-run isolation is what keeps CompareParallel output
+	// byte-identical at any -parallel level. Both are nil when disabled.
+	reg    *obs.Registry
+	tracer *obs.Tracer
 
 	tlb     []tlbEntry // per-core direct-mapped TLB (fast path only)
 	scratch [64]byte   // reusable line buffer for store mutation
@@ -224,12 +231,110 @@ func New(cfg Config) (*Simulator, error) {
 	}
 	s.obs, _ = s.ctrl.(prefetchObserver)
 
+	// Observability wiring. The tracer attaches to the controller (every
+	// scheme embeds memctrl's base, which implements SetTracer) and, for
+	// Dynamic-PTMC, to the policy's flip hook; the registry wraps the live
+	// stats structs behind named series.
+	if cfg.Trace {
+		s.tracer = obs.NewTracer(cfg.TraceCapacity)
+		if st, ok := s.ctrl.(interface{ SetTracer(*obs.Tracer) }); ok {
+			st.SetTracer(s.tracer)
+		}
+		if p, ok := s.ctrl.(*memctrl.PTMC); ok && p.Dynamic() != nil {
+			tr := s.tracer
+			p.Dynamic().SetFlipHook(func(core int, enabled bool) {
+				arg := int64(0)
+				if enabled {
+					arg = 1
+				}
+				tr.Emit(obs.KindPolicyFlip, s.now, 0, core, 0, arg)
+			})
+		}
+	}
+	if cfg.MetricsInterval > 0 {
+		s.reg = obs.NewRegistry()
+		s.registerMetrics()
+	}
+
 	// Cores.
 	for i := 0; i < cfg.Cores; i++ {
 		s.cores = append(s.cores, cpu.New(i, cfg.Core, s.streams[i], s.access))
 	}
 	s.tlb = make([]tlbEntry, cfg.Cores*tlbSize)
 	return s, nil
+}
+
+// registerMetrics wraps the run's live stats structs behind named, labeled
+// series. The closures read fields off stable pointers (resetStats zeroes
+// the structs in place), so a snapshot is a loop of field loads.
+func (s *Simulator) registerMetrics() {
+	lbl := map[string]string{"scheme": s.cfg.Scheme, "workload": s.cfg.Workload}
+	st := s.ctrl.Stats()
+	counter := func(name string, read func() uint64) { s.reg.Counter(name, lbl, read) }
+	gauge := func(name string, read func() uint64) { s.reg.Gauge(name, lbl, read) }
+
+	// Memory-controller bandwidth events (Figures 4/14 stacks, Figure 16
+	// cost/benefit inputs).
+	counter("mem.demand_reads", func() uint64 { return st.DemandReads })
+	counter("mem.mispredict_reads", func() uint64 { return st.MispredictReads })
+	counter("mem.metadata_reads", func() uint64 { return st.MetadataReads })
+	counter("mem.prefetch_reads", func() uint64 { return st.PrefetchReads })
+	counter("mem.dirty_writes", func() uint64 { return st.DirtyWrites })
+	counter("mem.clean_comp_writes", func() uint64 { return st.CleanCompIntoW })
+	counter("mem.invalidates", func() uint64 { return st.Invalidates })
+	counter("mem.metadata_writes", func() uint64 { return st.MetadataWrites })
+	counter("mem.groups4", func() uint64 { return st.Groups4 })
+	counter("mem.groups2", func() uint64 { return st.Groups2 })
+	counter("mem.singles", func() uint64 { return st.SinglesWrit })
+	counter("mem.free_installs", func() uint64 { return st.FreeInstalls })
+	counter("mem.useful_free_pf", func() uint64 { return st.UsefulFreePf })
+	counter("mem.coalesced_reads", func() uint64 { return st.CoalescedReads })
+	counter("mem.fills_compressed", func() uint64 { return st.FillsCompressed })
+	counter("mem.fills_uncompressed", func() uint64 { return st.FillsUncompressed })
+	counter("mem.degradations", func() uint64 { return st.Degradations() })
+
+	d := s.ctrl.DRAM()
+	counter("dram.reads", func() uint64 { return d.Stats.Reads })
+	counter("dram.writes", func() uint64 { return d.Stats.Writes })
+	counter("dram.row_hits", func() uint64 { return d.Stats.RowHits })
+	counter("dram.activates", func() uint64 { return d.Stats.Activates })
+	gauge("dram.queue_depth", func() uint64 { return uint64(d.QueueDepth()) })
+
+	l3 := s.l3
+	counter("l3.hits", func() uint64 { return l3.Stats.Hits })
+	counter("l3.misses", func() uint64 { return l3.Stats.Misses })
+	counter("l3.evictions", func() uint64 { return l3.Stats.Evictions })
+
+	if p, ok := s.ctrl.(*memctrl.PTMC); ok {
+		llp := p.LLP()
+		counter("llp.predictions", func() uint64 { return llp.Predictions })
+		counter("llp.correct", func() uint64 { return llp.Correct })
+		if dyn := p.Dynamic(); dyn != nil {
+			for i, uc := range dyn.Counters() {
+				uc := uc
+				clbl := map[string]string{
+					"scheme":   s.cfg.Scheme,
+					"workload": s.cfg.Workload,
+					"core":     fmt.Sprintf("%d", i),
+				}
+				s.reg.Counter("dyn.benefits", clbl, func() uint64 { return uc.Benefits })
+				s.reg.Counter("dyn.costs", clbl, func() uint64 { return uc.Costs })
+				s.reg.Gauge("dyn.counter", clbl, func() uint64 { return uint64(uc.Value()) })
+				enabled := func() uint64 {
+					if uc.Enabled() {
+						return 1
+					}
+					return 0
+				}
+				s.reg.Gauge("dyn.enabled", clbl, enabled)
+			}
+		}
+	}
+	if t, ok := s.ctrl.(*memctrl.TableTMC); ok {
+		m := t.Meta()
+		counter("mcache.lookups", func() uint64 { return m.Lookups })
+		counter("mcache.hits", func() uint64 { return m.Hits })
+	}
 }
 
 // backInvalidate enforces inclusion: remove a from every private cache.
@@ -407,6 +512,9 @@ func (s *Simulator) run(ctx context.Context, limit, maxCycles int64) error {
 		if s.now%int64(s.cfg.DRAM.BusRatio) == 0 {
 			s.ctrl.Tick(s.now)
 		}
+		if s.reg != nil && s.now%s.cfg.MetricsInterval == 0 {
+			s.reg.Snapshot(s.now)
+		}
 	}
 }
 
@@ -421,6 +529,8 @@ func (s *Simulator) resetStats() {
 	s.ctrl.DRAM().Stats = dram.Stats{}
 	s.demandAccesses = 0
 	s.pageInits = 0
+	s.reg.Reset()    // nil-safe: drops warmup snapshots, keeps series
+	s.tracer.Reset() // nil-safe: drops warmup events
 	if p, ok := s.ctrl.(*memctrl.PTMC); ok {
 		p.LLP().Predictions = 0
 		p.LLP().Correct = 0
@@ -494,6 +604,16 @@ func (s *Simulator) collect() *Result {
 	if t, ok := s.ctrl.(*memctrl.TableTMC); ok {
 		r.MCacheHitRate = t.Meta().HitRate()
 		r.HasMCache = true
+	}
+	if s.reg != nil {
+		// Close the series with an end-of-window snapshot so the final
+		// partial window's deltas are exported too.
+		s.reg.Snapshot(s.now)
+		r.Metrics = s.reg.Export()
+	}
+	if s.tracer != nil {
+		r.TraceEvents = s.tracer.Events()
+		r.TraceDropped = s.tracer.Dropped()
 	}
 	return r
 }

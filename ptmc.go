@@ -31,9 +31,11 @@ package ptmc
 
 import (
 	"context"
+	"io"
 
 	"ptmc/internal/compress"
 	"ptmc/internal/fault"
+	"ptmc/internal/obs"
 	"ptmc/internal/sim"
 	"ptmc/internal/workload"
 )
@@ -153,6 +155,43 @@ func RunNoHurt(ctx context.Context, cfg Config) (*NoHurtReport, error) {
 // AdversarialWorkload returns the compression-hostile workload RunNoHurt
 // uses by default.
 func AdversarialWorkload() *Workload { return sim.AdversarialWorkload() }
+
+// Observability API (internal/obs): enable with Config.MetricsInterval /
+// Config.Trace (or FaultConfig.Metrics / FaultConfig.Trace) and consume the
+// output from Result.Metrics / Result.TraceEvents.
+type (
+	// MetricsDump is the exported snapshot time series of a run: the list
+	// of registered stat series plus one row of values per snapshot window.
+	MetricsDump = obs.MetricsDump
+	// TraceEvent is one recorded controller event (DRAM read/write, fill,
+	// eviction, re-key, scrub, policy flip).
+	TraceEvent = obs.Event
+	// TraceKind classifies a TraceEvent.
+	TraceKind = obs.Kind
+)
+
+// TraceKinds lists every event kind a tracer can record.
+func TraceKinds() []TraceKind { return obs.Kinds() }
+
+// WriteChromeTrace writes events in Chrome trace-event JSON, loadable in
+// chrome://tracing or Perfetto (cycles are mapped to microseconds).
+func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
+	return obs.WriteChromeTrace(w, events)
+}
+
+// WriteTraceJSONL writes events as compact JSON Lines, one event per line.
+func WriteTraceJSONL(w io.Writer, events []TraceEvent) error {
+	return obs.WriteJSONL(w, events)
+}
+
+// TraceCountByKind tallies events per kind (smoke checks, quick summaries).
+func TraceCountByKind(events []TraceEvent) map[TraceKind]int {
+	return obs.CountByKind(events)
+}
+
+// StartPprof serves net/http/pprof on addr (e.g. "localhost:6060") in a
+// background goroutine and returns the bound address.
+func StartPprof(addr string) (string, error) { return obs.StartPprof(addr) }
 
 // NewHybridCompressor returns the FPC+BDI hybrid line compressor, usable
 // standalone for compressibility studies (see examples/membw-explorer).

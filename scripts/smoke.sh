@@ -28,3 +28,13 @@ echo "smoke: report matches paperbench_quick.txt"
 # or harmless — faultprobe exits non-zero on any silent corruption.
 go run ./cmd/faultprobe -trials 100 -seed 1
 echo "smoke: fault campaign clean"
+
+# Observability smoke: an instrumented quickstart run must produce a
+# parseable Chrome trace with every always-present event kind and a
+# structurally valid metrics snapshot series (obscheck validates both).
+go run ./cmd/ptmcsim -workload lbm06 -scheme dynamic-ptmc \
+	-insts 60000 -warmup 60000 \
+	-metrics "$out.metrics" -trace "$out.trace" > /dev/null
+go run ./cmd/obscheck -trace "$out.trace" -metrics "$out.metrics"
+rm -f "$out.metrics" "$out.trace"
+echo "smoke: observability artifacts valid"
