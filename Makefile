@@ -10,12 +10,15 @@
 #   make bench       compression + artifact micro-benchmarks with allocation
 #                    counts (AppendCompress/DecompressInto must show 0 allocs/op;
 #                    nil-instrumentation obs paths must show 0 allocs/op)
+#   make bench-trend regenerate BENCH_PR6.json: the paperbench workload mix
+#                    end-to-end at shards 1/2/4/8 plus core micro-benchmarks
+#                    (slow: ~12 full simulations)
 #   make ci          everything
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test smoke fuzz-smoke trace-smoke bench ci
+.PHONY: check vet build test smoke fuzz-smoke trace-smoke bench bench-trend ci
 
 check: vet build test
 
@@ -46,5 +49,9 @@ bench:
 	$(GO) test -run xxx -bench 'AppendCompress|DecompressInto' -benchmem .
 	$(GO) test -run xxx -bench 'BenchmarkNil' -benchmem ./internal/obs/
 	$(GO) test -run xxx -bench 'BenchmarkPTMCReadMiss' -benchmem ./internal/memctrl/
+
+bench-trend:
+	$(GO) run ./cmd/benchtrend -out BENCH_PR6.json
+	$(GO) run ./cmd/benchtrend -check BENCH_PR6.json
 
 ci: check smoke

@@ -1,0 +1,395 @@
+// Command benchtrend measures the simulator's performance trajectory and
+// writes it as a stable, append-friendly JSON artifact (BENCH_PR6.json in
+// this PR; later PRs emit BENCH_PR<n>.json with the same schema and compare
+// series across files).
+//
+// The end-to-end measurement is the paperbench workload mix: one 8-core
+// multiprogrammed simulation per scheme, repeated at several -shards values
+// (1 = the serial reference loop, 2/4/8 = the epoch engine). Every repeat
+// must produce a byte-identical report — the engine is a performance knob,
+// not a model change — and benchtrend fails loudly if it does not. Wall
+// time and user-CPU time are recorded per run (user CPU is the honest
+// number on noisy shared hosts); core micro-benchmarks (group compression,
+// marker classification, lazy store reads) ride along with ns/op and
+// allocs/op.
+//
+// Validate an existing artifact without running anything:
+//
+//	benchtrend -check BENCH_PR6.json
+//
+// The check asserts schema and series presence (missing series fail; value
+// regressions do not — trend analysis is a human's job).
+package main
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"reflect"
+	"runtime"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"ptmc"
+	"ptmc/internal/compress"
+	"ptmc/internal/core"
+	"ptmc/internal/mem"
+)
+
+// Schema is the artifact version tag. Future PRs append new series (or new
+// files) but never rename or repurpose existing fields under this tag.
+const Schema = "ptmc-bench/v1"
+
+type artifact struct {
+	Schema    string   `json:"schema"`
+	Generated string   `json:"generated"`
+	PR        int      `json:"pr"`
+	Host      host     `json:"host"`
+	Config    runCfg   `json:"config"`
+	Identical bool     `json:"identical_reports"`
+	Series    []series `json:"series"`
+	// Speedup is the headline number: serial wall time over best-shard
+	// wall time for the primary (last-listed) scheme.
+	Speedup float64 `json:"speedup"`
+}
+
+type host struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	CPUs       int    `json:"cpus"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Go         string `json:"go"`
+}
+
+type runCfg struct {
+	Workload string `json:"workload"`
+	Schemes  string `json:"schemes"`
+	Cores    int    `json:"cores"`
+	Warmup   int64  `json:"warmup"`
+	Measure  int64  `json:"measure"`
+	Seed     int64  `json:"seed"`
+	Shards   string `json:"shards"`
+}
+
+type series struct {
+	Name   string  `json:"name"`
+	Unit   string  `json:"unit"`
+	Points []point `json:"points"`
+}
+
+type point struct {
+	Label string  `json:"label"`
+	Value float64 `json:"value"`
+}
+
+func main() {
+	var (
+		out      = flag.String("out", "BENCH_PR6.json", "artifact path to write")
+		check    = flag.String("check", "", "validate this artifact's schema and exit (no runs)")
+		workload = flag.String("workload", "mix1", "paperbench workload mix to measure end-to-end")
+		schemes  = flag.String("schemes", "uncompressed,ptmc,dynamic-ptmc",
+			"comma-separated schemes; the last is the headline-speedup scheme")
+		shards  = flag.String("shards", "1,2,4,8", "comma-separated shard counts")
+		cores   = flag.Int("cores", 8, "cores")
+		warmup  = flag.Int64("warmup", 700_000, "warmup instructions per core")
+		measure = flag.Int64("insts", 2_000_000, "measured instructions per core")
+		seed    = flag.Int64("seed", 1, "run seed")
+		pr      = flag.Int("pr", 6, "PR number recorded in the artifact")
+		noMicro = flag.Bool("nomicro", false, "skip the micro-benchmark series")
+	)
+	flag.Parse()
+
+	if *check != "" {
+		if err := checkArtifact(*check); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtrend: %s: %v\n", *check, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid %s artifact\n", *check, Schema)
+		return
+	}
+
+	shardList, err := parseInts(*shards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtrend: -shards:", err)
+		os.Exit(1)
+	}
+	schemeList := strings.Split(*schemes, ",")
+
+	art := &artifact{
+		Schema:    Schema,
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		PR:        *pr,
+		Host: host{
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			CPUs:       runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Go:         runtime.Version(),
+		},
+		Config: runCfg{
+			Workload: *workload, Schemes: *schemes, Cores: *cores,
+			Warmup: *warmup, Measure: *measure, Seed: *seed, Shards: *shards,
+		},
+		Identical: true,
+	}
+
+	for _, scheme := range schemeList {
+		wall := series{Name: "wall/" + *workload + "/" + scheme, Unit: "s"}
+		cpu := series{Name: "cpu/" + *workload + "/" + scheme, Unit: "s"}
+		var ref *ptmc.Result
+		var serialWall, bestWall float64
+		for _, sh := range shardList {
+			cfg := ptmc.DefaultConfig()
+			cfg.Workload = *workload
+			cfg.Scheme = scheme
+			cfg.Cores = *cores
+			cfg.WarmupInstr = *warmup
+			cfg.MeasureInstr = *measure
+			cfg.Seed = *seed
+			if sh > 1 {
+				cfg.Shards = sh
+			}
+			u0 := userCPU()
+			t0 := time.Now()
+			res, err := ptmc.Run(cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchtrend: %s shards=%d: %v\n", scheme, sh, err)
+				os.Exit(1)
+			}
+			w := time.Since(t0).Seconds()
+			u := userCPU() - u0
+			label := "shards=" + strconv.Itoa(sh)
+			wall.Points = append(wall.Points, point{label, round(w)})
+			cpu.Points = append(cpu.Points, point{label, round(u)})
+			fmt.Printf("%-28s %-9s wall=%6.2fs cpu=%6.2fs  %s\n",
+				*workload+"/"+scheme, label, w, u, res.String())
+			if ref == nil {
+				ref, serialWall, bestWall = res, w, w
+			} else {
+				if w < bestWall {
+					bestWall = w
+				}
+				if !reflect.DeepEqual(ref, res) {
+					art.Identical = false
+					fmt.Fprintf(os.Stderr,
+						"benchtrend: %s shards=%d report DIVERGES from serial:\n  %s\nvs\n  %s\n",
+						scheme, sh, res, ref)
+				}
+			}
+		}
+		art.Series = append(art.Series, wall, cpu)
+		if len(shardList) > 1 && bestWall > 0 {
+			art.Series = append(art.Series, series{
+				Name: "speedup/" + *workload + "/" + scheme, Unit: "x",
+				Points: []point{{"serial/best-sharded", round(serialWall / bestWall)}},
+			})
+			art.Speedup = round(serialWall / bestWall) // last scheme wins: headline
+		}
+	}
+
+	if !*noMicro {
+		art.Series = append(art.Series, microSeries()...)
+	}
+
+	if !art.Identical {
+		fmt.Fprintln(os.Stderr, "benchtrend: NOT writing artifact: reports diverged across shard counts")
+		os.Exit(1)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtrend:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(art); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtrend:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtrend:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (headline speedup %.2fx, reports identical at shards %s)\n",
+		*out, art.Speedup, *shards)
+}
+
+// microSeries runs the core micro-benchmarks through testing.Benchmark and
+// reports ns/op and allocs/op. These pin the primitives the end-to-end
+// numbers are built from: the group compression codec, marker
+// classification (every fill classifies), and the sparse store's lazy read
+// path (every first-touch synthesizes).
+func microSeries() []series {
+	nsop := series{Name: "micro/ns-op", Unit: "ns/op"}
+	allocs := series{Name: "micro/allocs-op", Unit: "allocs/op"}
+	add := func(label string, f func(b *testing.B)) {
+		r := testing.Benchmark(f)
+		nsop.Points = append(nsop.Points, point{label, round(float64(r.NsPerOp()))})
+		allocs.Points = append(allocs.Points, point{label, float64(r.AllocsPerOp())})
+		fmt.Printf("micro/%-18s %10d ns/op %6d allocs/op\n", label, r.NsPerOp(), r.AllocsPerOp())
+	}
+
+	lines := benchLines()
+	refs := make([][]byte, 4)
+	for i := range refs {
+		refs[i] = lines[i][:]
+	}
+	alg := compress.Hybrid{}
+	add("compress-group-4", func(b *testing.B) {
+		buf := make([]byte, 0, 4*mem.LineSize)
+		for i := 0; i < b.N; i++ {
+			if _, ok := compress.AppendCompressGroup(alg, buf[:0], refs, core.CompressedBudget); !ok {
+				panic("benchtrend: reference group must fit the 4:1 budget")
+			}
+		}
+	})
+	blob, ok := compress.CompressGroup(alg, refs, core.CompressedBudget)
+	if !ok {
+		panic("benchtrend: reference group must compress")
+	}
+	add("decompress-group-4", func(b *testing.B) {
+		dst := make([][]byte, 4)
+		var bufs [4][mem.LineSize]byte
+		for i := range dst {
+			dst[i] = bufs[i][:]
+		}
+		for i := 0; i < b.N; i++ {
+			if err := compress.DecompressGroupInto(alg, dst, blob, 4); err != nil {
+				panic(err)
+			}
+		}
+	})
+
+	g := core.NewMarkerGen(1)
+	add("classify-line", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g.Classify(mem.LineAddr(i&1023), lines[i&3][:])
+		}
+	})
+
+	add("store-lazy-read", func(b *testing.B) {
+		s := mem.NewStore()
+		s.SetLazyFill(func(a mem.LineAddr, buf []byte) {
+			binary.LittleEndian.PutUint64(buf, uint64(a))
+		})
+		var scratch [mem.LineSize]byte
+		for pn := 0; pn < 16; pn++ {
+			s.MarkLazy(mem.LineAddr(pn * mem.SlabLines))
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.ReadNoAlloc(mem.LineAddr(i%(16*mem.SlabLines)), scratch[:])
+		}
+	})
+	return []series{nsop, allocs}
+}
+
+// benchLines builds four well-compressing 64-byte lines (a sparse repeating
+// tag, the same shape the controller's compressible-workload tests use) that
+// together fit the 4:1 group budget.
+func benchLines() [4][mem.LineSize]byte {
+	var out [4][mem.LineSize]byte
+	for l := range out {
+		for i := 0; i < mem.LineSize; i += 4 {
+			out[l][i] = byte(0x11 * (l + 1))
+		}
+	}
+	return out
+}
+
+func userCPU() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return float64(ru.Utime.Sec) + float64(ru.Utime.Usec)/1e6
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("shard count must be >= 1, got %d", v)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+// checkArtifact validates schema and series presence. It fails on missing
+// or malformed series — never on the values themselves.
+func checkArtifact(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var art artifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		return fmt.Errorf("parse: %w", err)
+	}
+	if art.Schema != Schema {
+		return fmt.Errorf("schema = %q, want %q", art.Schema, Schema)
+	}
+	if art.Generated == "" {
+		return fmt.Errorf("missing generated timestamp")
+	}
+	if !art.Identical {
+		return fmt.Errorf("identical_reports is false: shard runs diverged")
+	}
+	if len(art.Series) == 0 {
+		return fmt.Errorf("no series")
+	}
+	var haveWall, haveSpeedup, haveMicro bool
+	for _, s := range art.Series {
+		if s.Name == "" || s.Unit == "" {
+			return fmt.Errorf("series with empty name or unit")
+		}
+		if len(s.Points) == 0 {
+			return fmt.Errorf("series %q has no points", s.Name)
+		}
+		for _, p := range s.Points {
+			if p.Label == "" {
+				return fmt.Errorf("series %q has an unlabeled point", s.Name)
+			}
+			if math.IsNaN(p.Value) || math.IsInf(p.Value, 0) || p.Value < 0 {
+				return fmt.Errorf("series %q point %q has value %v", s.Name, p.Label, p.Value)
+			}
+		}
+		switch {
+		case strings.HasPrefix(s.Name, "wall/"):
+			if len(s.Points) < 2 {
+				return fmt.Errorf("series %q needs >= 2 shard points, has %d", s.Name, len(s.Points))
+			}
+			haveWall = true
+		case strings.HasPrefix(s.Name, "speedup/"):
+			haveSpeedup = true
+		case strings.HasPrefix(s.Name, "micro/"):
+			haveMicro = true
+		}
+	}
+	if !haveWall {
+		return fmt.Errorf("missing wall/ series")
+	}
+	if !haveSpeedup {
+		return fmt.Errorf("missing speedup/ series")
+	}
+	if !haveMicro {
+		return fmt.Errorf("missing micro/ series")
+	}
+	return nil
+}
+
+func round(v float64) float64 { return math.Round(v*1000) / 1000 }

@@ -31,6 +31,7 @@ func main() {
 		warmup   = flag.Int64("warmup", 0, "override warmup instructions per core")
 		cores    = flag.Int("cores", 0, "override core count")
 		seed     = flag.Int64("seed", 1, "run seed")
+		shards   = flag.Int("shards", 0, "epoch-engine shards per simulation (0/1 = serial reference loop)")
 		quiet    = flag.Bool("quiet", false, "suppress per-run progress lines")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
 			"max concurrent simulations (output is identical at any value)")
@@ -70,6 +71,7 @@ func main() {
 	}
 	opts.Seed = *seed
 	opts.Silent = *quiet
+	opts.Shards = *shards
 
 	r := paper.NewParallelRunner(opts, os.Stdout, *parallel)
 
@@ -132,6 +134,7 @@ func main() {
 		cfg.WarmupInstr = opts.Warmup
 		cfg.MeasureInstr = opts.Measure
 		cfg.Seed = opts.Seed
+		cfg.Shards = opts.Shards
 		if *metricsOut != "" {
 			cfg.MetricsInterval = *metricsIval
 		}

@@ -43,6 +43,7 @@ func main() {
 		channels     = flag.Int("channels", 2, "DRAM channels")
 		l3MB         = flag.Int("l3mb", 8, "LLC size in MB")
 		seed         = flag.Int64("seed", 1, "deterministic run seed")
+		shards       = flag.Int("shards", 0, "epoch-engine shards (0/1 = serial reference loop)")
 		list         = flag.Bool("list", false, "list workloads and schemes, then exit")
 		inject       = flag.Int("inject", 0, "run an N-trial fault-injection campaign instead of a simulation")
 		parallel     = flag.Int("parallel", runtime.GOMAXPROCS(0),
@@ -113,6 +114,7 @@ func main() {
 	cfg.DRAM.Channels = *channels
 	cfg.L3Bytes = *l3MB << 20
 	cfg.Seed = *seed
+	cfg.Shards = *shards
 	if *metricsOut != "" {
 		cfg.MetricsInterval = *metricsIval
 	}

@@ -34,31 +34,38 @@ func HomeFor(a mem.LineAddr, level cache.Level) mem.LineAddr {
 	}
 }
 
-// MembersAt returns the line addresses stored together at location home for
-// the given level, in address order (the order their encodings concatenate
-// in the 60-byte payload).
-func MembersAt(home mem.LineAddr, level cache.Level) []mem.LineAddr {
+// MembersSpan is the allocation-free form of MembersAt: the members of a
+// unit are always consecutive line addresses, so the set is fully described
+// by its first address and length. Hot paths iterate the span directly
+// instead of materializing a slice per lookup.
+func MembersSpan(home mem.LineAddr, level cache.Level) (first mem.LineAddr, n int) {
 	switch level {
 	case cache.Comp4:
-		b := GroupBase(home)
-		return []mem.LineAddr{b, b + 1, b + 2, b + 3}
+		return GroupBase(home), 4
 	case cache.Comp2:
-		b := PairBase(home)
-		return []mem.LineAddr{b, b + 1}
+		return PairBase(home), 2
 	default:
-		return []mem.LineAddr{home}
+		return home, 1
 	}
+}
+
+// MembersAt returns the line addresses stored together at location home for
+// the given level, in address order (the order their encodings concatenate
+// in the 60-byte payload). It allocates; hot paths use MembersSpan.
+func MembersAt(home mem.LineAddr, level cache.Level) []mem.LineAddr {
+	first, n := MembersSpan(home, level)
+	out := make([]mem.LineAddr, n)
+	for i := range out {
+		out[i] = first + mem.LineAddr(i)
+	}
+	return out
 }
 
 // Covers reports whether a line stored at level `level` at location `home`
 // includes address a.
 func Covers(home mem.LineAddr, level cache.Level, a mem.LineAddr) bool {
-	for _, m := range MembersAt(home, level) {
-		if m == a {
-			return true
-		}
-	}
-	return false
+	first, n := MembersSpan(home, level)
+	return a >= first && a < first+mem.LineAddr(n)
 }
 
 // NeedsPrediction reports whether locating line a requires the LLP: the
@@ -67,16 +74,25 @@ func Covers(home mem.LineAddr, level cache.Level, a mem.LineAddr) bool {
 // prediction while accessing line A").
 func NeedsPrediction(a mem.LineAddr) bool { return GroupIndex(a) != 0 }
 
+// AppendCandidateHomes appends the possible locations of line a, from most-
+// to least-compressed and excluding duplicates, to dst and returns it. With
+// a caller-provided fixed-capacity buffer (at most 3 candidates exist) the
+// probe loop performs no allocation.
+func AppendCandidateHomes(dst []mem.LineAddr, a mem.LineAddr) []mem.LineAddr {
+	gb := GroupBase(a)
+	dst = append(dst, gb)
+	if pb := PairBase(a); pb != gb {
+		dst = append(dst, pb)
+	}
+	if a != gb && a != PairBase(a) {
+		dst = append(dst, a)
+	}
+	return dst
+}
+
 // CandidateHomes lists the possible locations of line a from most- to
 // least-compressed, excluding duplicates. On an LLP miss the controller
 // probes the remaining candidates in a deterministic order.
 func CandidateHomes(a mem.LineAddr) []mem.LineAddr {
-	homes := []mem.LineAddr{GroupBase(a)}
-	if pb := PairBase(a); pb != homes[0] {
-		homes = append(homes, pb)
-	}
-	if a != homes[0] && a != PairBase(a) {
-		homes = append(homes, a)
-	}
-	return homes
+	return AppendCandidateHomes(make([]mem.LineAddr, 0, 3), a)
 }

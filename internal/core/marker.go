@@ -162,19 +162,35 @@ func (g *MarkerGen) Classify(a mem.LineAddr, data []byte) Class {
 
 // isMarkerIL tests data against the Invalid-Line marker (or, when inverted
 // is true, its complement — the stored form of a CPU line that happened to
-// equal Marker-IL and was therefore inverted and LIT-tracked).
+// equal Marker-IL and was therefore inverted and LIT-tracked). It
+// regenerates the marker incrementally and bails on the first mismatching
+// word: this runs on every line classification and every first-touch
+// collision check, and a real data line almost always diverges in word 0,
+// so the common case costs two mixes instead of a full 64-byte synthesis.
+// Equivalent, word for word, to comparing against MarkerIL(a).
 func isMarkerIL(g *MarkerGen, a mem.LineAddr, data []byte, inverted bool) bool {
-	il := g.MarkerIL(a)
-	for i, b := range data {
-		want := il[i]
-		if inverted {
-			want = ^want
-		}
-		if b != want {
+	inv := uint64(0)
+	if inverted {
+		inv = ^uint64(0)
+	}
+	h := mix(uint64(a) ^ g.keyIL)
+	for i := 0; i < CompressedBudget-4; i += 8 {
+		h = mix(h + 0x9E3779B97F4A7C15)
+		if binary.LittleEndian.Uint64(data[i:]) != h^inv {
 			return false
 		}
 	}
-	return true
+	h = mix(h + 0x9E3779B97F4A7C15)
+	if binary.LittleEndian.Uint32(data[CompressedBudget-4:]) != uint32(h)^uint32(inv) {
+		return false
+	}
+	// The final four bytes are MarkerIL's patched tail.
+	m2, m4 := g.markers(a)
+	tail := uint32(h >> 32)
+	for tail == m2 || tail == m4 || tail == ^m2 || tail == ^m4 {
+		tail++
+	}
+	return binary.LittleEndian.Uint32(data[CompressedBudget:]) == tail^uint32(inv)
 }
 
 // CollidesWithMarkers reports whether an uncompressed line about to be

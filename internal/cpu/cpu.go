@@ -28,6 +28,10 @@ func DefaultConfig() Config {
 
 const notDone = int64(1<<62 - 1)
 
+// NeverWake is NextWake's "no self-scheduled event" sentinel: the core can
+// only progress when an outstanding memory completion fires.
+const NeverWake = notDone
+
 // noopDone is the shared completion callback for stores (retirement does
 // not wait on them).
 func noopDone(int64) {}
@@ -136,3 +140,33 @@ func (c *Core) Cycle(now int64) {
 
 // Stream exposes the core's workload source (data synthesis callbacks).
 func (c *Core) Stream() workload.Source { return c.stream }
+
+// NextWake returns the earliest CPU cycle > now at which Cycle can change
+// the core's state, or NeverWake if only an external event (a memory
+// completion updating the ROB) can unblock it. The epoch engine uses this
+// to skip cycles no core can use.
+//
+// The cases mirror Cycle exactly:
+//   - finished core, empty ROB: fully drained, nothing ever happens again;
+//   - fetching core with ROB space: fetch proceeds next cycle;
+//   - otherwise progress waits on the ROB head: an unresolved load blocks
+//     until its completion callback (external), a resolved entry retires
+//     the cycle after its completion time. The head governs even for a
+//     finished, draining core — those retires move the window across the
+//     warmup/measure boundary and must not be skipped.
+func (c *Core) NextWake(now int64) int64 {
+	if c.finished >= 0 && c.count == 0 {
+		return NeverWake
+	}
+	if c.finished < 0 && c.count < len(c.rob) {
+		return now + 1
+	}
+	h := c.rob[c.head]
+	if h == notDone {
+		return NeverWake
+	}
+	if h <= now {
+		return now + 1
+	}
+	return h
+}

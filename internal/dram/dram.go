@@ -89,6 +89,12 @@ type Request struct {
 
 	enq        int64 // CPU cycle the request entered the queue
 	completeAt int64
+
+	// Geometry cached at Enqueue so the per-tick FR-FCFS scans load two
+	// fields instead of re-deriving channel/bank/row for every queued
+	// request on every bus cycle.
+	bankIdx int32
+	row     int64
 }
 
 // Stats counts DRAM events. Reads/Writes are bursts; RowHits counts column
@@ -122,6 +128,13 @@ type channel struct {
 	busFreeAt int64
 	inflight  []*Request // issued reads waiting for completion callback
 	draining  bool
+
+	// wakeAt (engine mode only) is the next CPU cycle at which ticking
+	// this channel can change its state: the earliest completion, the
+	// earliest cycle a queued request's bank frees up, or the tick after
+	// an enqueue. Between wakes the channel's queues and banks are
+	// provably static, so the epoch engine skips its per-bank scans.
+	wakeAt int64
 }
 
 // DRAM is the timing model. Tick must be called every memory-bus cycle
@@ -132,19 +145,36 @@ type DRAM struct {
 	Stats Stats
 
 	// decode shift/mask precomputed
-	chanMask  uint64
-	chanBits  uint
-	colBits   uint
-	bankBits  uint
-	rankBits  uint
-	tRCD      int64
-	tRP       int64
-	tCAS      int64
-	tRAS      int64
-	tBurst    int64
-	nextWake  int64
-	busyUntil int64
+	chanMask uint64
+	chanBits uint
+	colBits  uint
+	bankBits uint
+	rankBits uint
+	tRCD     int64
+	tRP      int64
+	tCAS     int64
+	tRAS     int64
+	tBurst   int64
+
+	// O(1) occupancy counters: Tick's empty fast path and the epoch
+	// engine's idle accounting must not scan channels to learn nothing is
+	// pending.
+	queuedTotal   int // requests sitting in read/write queues
+	inflightTotal int // issued requests awaiting completion
+	emptyQChans   int // channels whose read AND write queues are empty
+
+	// Epoch-engine state (SetEngineMode). lastTick marks the bus cycle
+	// currently (or most recently) being processed and tickChanIdx the
+	// channel index the tick loop is at (-1 outside Tick); together they
+	// tell Enqueue whether a new request is still visible to this cycle's
+	// scan or must wake its channel at the next one.
+	engine      bool
+	lastTick    int64
+	tickChanIdx int
 }
+
+// farFuture is the wake sentinel for "no internally scheduled event".
+const farFuture = int64(1) << 62
 
 // New builds a DRAM model from cfg.
 func New(cfg Config) (*DRAM, error) {
@@ -159,6 +189,9 @@ func New(cfg Config) (*DRAM, error) {
 		}
 		d.chans = append(d.chans, ch)
 	}
+	d.emptyQChans = cfg.Channels
+	d.lastTick = -1
+	d.tickChanIdx = -1
 	d.chanMask = uint64(cfg.Channels - 1)
 	d.chanBits = log2(uint64(cfg.Channels))
 	d.colBits = log2(uint64(cfg.RowLines))
@@ -203,7 +236,8 @@ func (d *DRAM) decode(a mem.LineAddr) (ch int, bankIdx int, row int64) {
 // Enqueue admits a request, returning false if the target queue is full
 // (the caller must retry later). now is the current CPU cycle.
 func (d *DRAM) Enqueue(r *Request, now int64) bool {
-	ch, _, _ := d.decode(r.Addr)
+	ch, b, row := d.decode(r.Addr)
+	r.bankIdx, r.row = int32(b), row
 	c := d.chans[ch]
 	if r.Write {
 		if len(c.writeQ) >= d.cfg.WriteQCap {
@@ -215,85 +249,166 @@ func (d *DRAM) Enqueue(r *Request, now int64) bool {
 		if len(c.writeQ) > d.Stats.MaxWriteQ {
 			d.Stats.MaxWriteQ = len(c.writeQ)
 		}
-		return true
+	} else {
+		if len(c.readQ) >= d.cfg.ReadQCap {
+			d.Stats.RetriesFull++
+			return false
+		}
+		r.enq = now
+		c.readQ = append(c.readQ, r)
+		if len(c.readQ) > d.Stats.MaxReadQ {
+			d.Stats.MaxReadQ = len(c.readQ)
+		}
 	}
-	if len(c.readQ) >= d.cfg.ReadQCap {
-		d.Stats.RetriesFull++
-		return false
+	if len(c.readQ)+len(c.writeQ) == 1 {
+		d.emptyQChans--
 	}
-	r.enq = now
-	c.readQ = append(c.readQ, r)
-	if len(c.readQ) > d.Stats.MaxReadQ {
-		d.Stats.MaxReadQ = len(c.readQ)
+	d.queuedTotal++
+	if d.engine {
+		d.wakeOnEnqueue(c, ch, now)
 	}
 	return true
 }
 
-// QueueDepth returns total queued requests (reads+writes), for idle checks.
-func (d *DRAM) QueueDepth() int {
-	n := 0
-	for _, c := range d.chans {
-		n += len(c.readQ) + len(c.writeQ) + len(c.inflight)
+// wakeOnEnqueue schedules the channel's next scan after an admit,
+// reproducing the serial loop's visibility rules. A request enqueued before
+// this cycle's tick ran (cores run first within a CPU cycle) is visible to
+// that tick. One enqueued from inside the tick — a completion callback
+// issuing an eviction or retry — is visible to channels the in-order tick
+// loop has not reached yet (ch > tickChanIdx) but only next bus cycle for
+// channels at or before the loop cursor, exactly as the serial scan order
+// dictates.
+func (d *DRAM) wakeOnEnqueue(c *channel, ch int, now int64) {
+	r := int64(d.cfg.BusRatio)
+	var nt int64
+	if now == d.lastTick {
+		if ch > d.tickChanIdx && d.tickChanIdx >= 0 {
+			nt = now // tick loop reaches this channel later this cycle
+		} else {
+			nt = now + r
+		}
+	} else {
+		nt = (now + r - 1) / r * r // next bus-cycle boundary
 	}
-	return n
+	if nt < c.wakeAt {
+		c.wakeAt = nt
+	}
 }
+
+// QueueDepth returns total queued requests (reads+writes+inflight), for
+// idle checks and the dram.queue_depth gauge.
+func (d *DRAM) QueueDepth() int {
+	return d.queuedTotal + d.inflightTotal
+}
+
+// SetEngineMode enables the epoch engine's wake bookkeeping: Tick then
+// skips channels whose next possible state change lies in the future, and
+// NextEventCycle/SkippedTicks let the caller skip whole bus cycles. The
+// serial reference path keeps the straightforward scan-every-channel loop;
+// observable behavior (stats, completion order, timing) is identical in
+// both modes — a tested invariant.
+func (d *DRAM) SetEngineMode(on bool) { d.engine = on }
 
 // Tick advances the model by one memory-bus cycle at CPU cycle now: fires
 // completions and issues at most one new request per channel.
 func (d *DRAM) Tick(now int64) {
-	for _, c := range d.chans {
-		// Completions.
-		if len(c.inflight) > 0 {
-			kept := c.inflight[:0]
-			for _, r := range c.inflight {
-				if r.completeAt <= now {
-					if r.OnComplete != nil {
-						r.OnComplete(now)
-					}
-				} else {
-					kept = append(kept, r)
+	if d.queuedTotal == 0 && d.inflightTotal == 0 {
+		// Nothing queued and nothing in flight anywhere: every channel
+		// scan would only find empty queues. Skip the scans; the idle
+		// accounting must match what the full loop would have counted —
+		// one idle event per channel per tick.
+		d.Stats.IdleChannels += uint64(len(d.chans))
+		return
+	}
+	if d.engine {
+		d.lastTick = now
+		for i, c := range d.chans {
+			if c.wakeAt > now {
+				// Asleep: queues and banks are static until wakeAt. A
+				// channel with empty queues still counts idle (matching
+				// the serial per-tick accounting); one merely waiting on
+				// busy banks counts nothing, as in the serial scan.
+				if len(c.readQ)+len(c.writeQ) == 0 {
+					d.Stats.IdleChannels++
 				}
+				continue
 			}
-			c.inflight = kept
+			d.tickChanIdx = i
+			// Reset before processing so enqueue bids made during this
+			// channel's own completion callbacks survive into reschedule.
+			c.wakeAt = farFuture
+			q, issued := d.tickChannel(c, now)
+			d.reschedule(c, q, issued, now)
 		}
-
-		// Write-drain mode hysteresis.
-		if !c.draining && len(c.writeQ) >= d.cfg.WriteDrainHi {
-			c.draining = true
-			d.Stats.DrainEnters++
-		}
-		if c.draining && len(c.writeQ) <= d.cfg.WriteDrainLo {
-			c.draining = false
-		}
-
-		var q *[]*Request
-		isWrite := false
-		switch {
-		case c.draining:
-			q, isWrite = &c.writeQ, true
-		case len(c.readQ) > 0:
-			q = &c.readQ
-		case len(c.writeQ) > 0:
-			q, isWrite = &c.writeQ, true // opportunistic write when no reads
-		default:
-			d.Stats.IdleChannels++
-			continue
-		}
-		d.issueFRFCFS(c, q, isWrite, now)
+		d.tickChanIdx = -1
+		return
+	}
+	for _, c := range d.chans {
+		d.tickChannel(c, now)
 	}
 }
 
+// tickChannel is one channel's slice of a bus cycle: completions, drain
+// hysteresis, then at most one FR-FCFS issue. Completion callbacks may
+// enqueue new requests (eviction writebacks, mispredict retries) onto any
+// channel mid-loop; processing channels strictly in index order is what
+// makes that interleaving deterministic, so the epoch engine reuses this
+// exact routine rather than reordering it across shards. It returns the
+// queue the scheduler selected (nil when both were empty) and whether a
+// request issued, which is exactly what reschedule needs to bound the next
+// cycle this channel can make progress.
+func (d *DRAM) tickChannel(c *channel, now int64) (q *[]*Request, issued bool) {
+	// Completions.
+	if len(c.inflight) > 0 {
+		kept := c.inflight[:0]
+		for _, r := range c.inflight {
+			if r.completeAt <= now {
+				d.inflightTotal--
+				if r.OnComplete != nil {
+					r.OnComplete(now)
+				}
+			} else {
+				kept = append(kept, r)
+			}
+		}
+		c.inflight = kept
+	}
+
+	// Write-drain mode hysteresis.
+	if !c.draining && len(c.writeQ) >= d.cfg.WriteDrainHi {
+		c.draining = true
+		d.Stats.DrainEnters++
+	}
+	if c.draining && len(c.writeQ) <= d.cfg.WriteDrainLo {
+		c.draining = false
+	}
+
+	isWrite := false
+	switch {
+	case c.draining:
+		q, isWrite = &c.writeQ, true
+	case len(c.readQ) > 0:
+		q = &c.readQ
+	case len(c.writeQ) > 0:
+		q, isWrite = &c.writeQ, true // opportunistic write when no reads
+	default:
+		d.Stats.IdleChannels++
+		return nil, false
+	}
+	return q, d.issueFRFCFS(c, q, isWrite, now)
+}
+
 // issueFRFCFS picks the oldest row-hit request whose bank is free; if none,
-// the oldest request with a free bank. At most one request issues per call.
-func (d *DRAM) issueFRFCFS(c *channel, q *[]*Request, isWrite bool, now int64) {
+// the oldest request with a free bank. At most one request issues per call;
+// it reports whether one did.
+func (d *DRAM) issueFRFCFS(c *channel, q *[]*Request, isWrite bool, now int64) bool {
 	pick := -1
 	for i, r := range *q {
-		_, b, row := d.decode(r.Addr)
-		bk := &c.banks[b]
+		bk := &c.banks[r.bankIdx]
 		if bk.freeAt > now {
 			continue
 		}
-		if bk.openRow == row {
+		if bk.openRow == r.row {
 			pick = i
 			break // oldest row hit wins
 		}
@@ -302,18 +417,87 @@ func (d *DRAM) issueFRFCFS(c *channel, q *[]*Request, isWrite bool, now int64) {
 		}
 	}
 	if pick < 0 {
-		return
+		return false
 	}
 	r := (*q)[pick]
 	*q = append((*q)[:pick], (*q)[pick+1:]...)
+	d.queuedTotal--
+	if len(c.readQ)+len(c.writeQ) == 0 {
+		d.emptyQChans++
+	}
 	d.issue(c, r, isWrite, now)
+	return true
+}
+
+// reschedule computes the channel's next wake after its slice of a tick:
+// the earliest inflight completion, plus — when work is queued — either the
+// very next bus cycle (a request just issued, so the queue head may have
+// changed) or the first cycle a selected-queue bank frees up (nothing was
+// issuable, and the scheduler provably re-selects the same queue until its
+// state changes). Enqueue bids recorded on c.wakeAt during this channel's
+// own callbacks are folded in via min.
+func (d *DRAM) reschedule(c *channel, q *[]*Request, issued bool, now int64) {
+	w := c.wakeAt
+	for _, r := range c.inflight {
+		if t := d.busTickAtOrAfter(r.completeAt); t < w {
+			w = t
+		}
+	}
+	if len(c.readQ)+len(c.writeQ) > 0 {
+		switch {
+		case issued:
+			if t := now + int64(d.cfg.BusRatio); t < w {
+				w = t
+			}
+		case q != nil:
+			// Every candidate's bank was busy; queues, drain state, and the
+			// selection they imply are static until a bank frees or an
+			// enqueue bids its own wake.
+			for _, r := range *q {
+				if t := d.busTickAtOrAfter(c.banks[r.bankIdx].freeAt); t < w {
+					w = t
+				}
+			}
+		}
+	}
+	c.wakeAt = w
+}
+
+// busTickAtOrAfter rounds a CPU cycle up to the next bus-cycle boundary —
+// the earliest Tick that can observe an event at cycle t.
+func (d *DRAM) busTickAtOrAfter(t int64) int64 {
+	r := int64(d.cfg.BusRatio)
+	return (t + r - 1) / r * r
+}
+
+// NextEventCycle returns the earliest CPU cycle at which ticking the model
+// can change any state — the minimum channel wake — or farFuture when every
+// channel is fully idle. Meaningful in engine mode only.
+func (d *DRAM) NextEventCycle() int64 {
+	w := farFuture
+	for _, c := range d.chans {
+		if c.wakeAt < w {
+			w = c.wakeAt
+		}
+	}
+	return w
+}
+
+// SkippedTicks credits idle-channel accounting for n whole bus cycles the
+// epoch engine proved eventless and skipped. Queues are static while every
+// channel sleeps, so each skipped tick would have counted exactly the
+// channels whose queues are empty — no more, no less.
+func (d *DRAM) SkippedTicks(n int64) {
+	if n > 0 {
+		d.Stats.IdleChannels += uint64(n) * uint64(d.emptyQChans)
+	}
 }
 
 // issue performs the lumped command sequence for one request and reserves
 // bank and bus time.
 func (d *DRAM) issue(c *channel, r *Request, isWrite bool, now int64) {
-	_, b, row := d.decode(r.Addr)
-	bk := &c.banks[b]
+	bk := &c.banks[r.bankIdx]
+	row := r.row
 	start := now
 	if bk.freeAt > start {
 		start = bk.freeAt
@@ -365,6 +549,7 @@ func (d *DRAM) issue(c *channel, r *Request, isWrite bool, now int64) {
 		if r.OnComplete != nil {
 			r.completeAt = dataEnd
 			c.inflight = append(c.inflight, r)
+			d.inflightTotal++
 		}
 		return
 	}
@@ -373,6 +558,7 @@ func (d *DRAM) issue(c *channel, r *Request, isWrite bool, now int64) {
 	d.Stats.ReadLatency += uint64(dataEnd - r.enq)
 	r.completeAt = dataEnd
 	c.inflight = append(c.inflight, r)
+	d.inflightTotal++
 }
 
 // AvgReadLatency returns the mean CPU-cycle latency of completed reads.

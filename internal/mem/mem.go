@@ -25,8 +25,13 @@ type LineAddr uint64
 // by internal/vm, which happens to match).
 const linesPerPage = 64
 
-// page holds the contents of 64 consecutive lines.
-type page [linesPerPage][LineSize]byte
+// page holds the contents of 64 consecutive lines, plus the per-line
+// validity mask used by lazily-filled stores: bit i set means lines[i]
+// holds real bytes. Stores without a fill callback ignore the mask.
+type page struct {
+	mask  uint64
+	lines [linesPerPage][LineSize]byte
+}
 
 // Store is a sparse 64-byte-line-granular memory. Untouched lines read as
 // zero. The zero value is ready to use after NewStore; Store is not
@@ -34,7 +39,25 @@ type page [linesPerPage][LineSize]byte
 // is a tested invariant).
 type Store struct {
 	pages map[uint64]*page
+
+	// chunk is the bump allocator pages are carved from: allocating pages
+	// in 64-page chunks amortizes the heap's per-object cost (span setup,
+	// heap-bitmap init) across a whole chunk, which matters because a
+	// simulation run allocates hundreds of thousands of pages. Pages are
+	// never freed individually, so carving from a chunk wastes nothing.
+	chunk []page
+
+	// fill, when set, synthesizes the contents of one not-yet-valid line
+	// of a lazily-initialized page on first use (see MarkLazy). It must
+	// write exactly LineSize bytes.
+	fill func(a LineAddr, buf []byte)
 }
+
+// lazyPage is the sentinel a lazily-initialized page points at until first
+// use. It is shared, never written (the Read/Write paths swap in a real
+// page before returning any line of it), and lets MarkLazy cost one map
+// insert instead of a 4 KB allocation.
+var lazyPage = new(page)
 
 // NewStore returns an empty sparse store.
 func NewStore() *Store {
@@ -43,14 +66,81 @@ func NewStore() *Store {
 
 var zeroLine [LineSize]byte
 
+// alloc carves one page from the current chunk.
+func (s *Store) alloc() *page {
+	if len(s.chunk) == 0 {
+		s.chunk = make([]page, 64)
+	}
+	p := &s.chunk[0]
+	s.chunk = s.chunk[1:]
+	return p
+}
+
+// allocAt replaces the lazy sentinel (or nothing) at page pn with a real,
+// zeroed, all-lines-invalid page. No synthesis happens here: lines are
+// filled one at a time as they are actually read (memoized in the page) or
+// overwritten by stores.
+func (s *Store) allocAt(pn uint64) *page {
+	p := s.alloc()
+	s.pages[pn] = p
+	return p
+}
+
 // Read returns the contents of line a. The returned slice aliases internal
 // storage for touched lines and must not be modified; use Write to mutate.
 func (s *Store) Read(a LineAddr) []byte {
-	p, ok := s.pages[uint64(a)/linesPerPage]
+	pn := uint64(a) / linesPerPage
+	p, ok := s.pages[pn]
 	if !ok {
 		return zeroLine[:]
 	}
-	return p[uint64(a)%linesPerPage][:]
+	if p == lazyPage {
+		p = s.allocAt(pn)
+	}
+	i := uint64(a) % linesPerPage
+	if s.fill != nil && p.mask&(1<<i) == 0 {
+		s.fill(a, p.lines[i][:])
+		p.mask |= 1 << i
+	}
+	return p.lines[i][:]
+}
+
+// ReadNoAlloc is Read for integrity checks and eviction planning: for a
+// line of a still-sentinel lazy page it synthesizes the value into scratch
+// (which must be LineSize bytes) instead of allocating the page, so pages
+// that are only ever *inspected* — filled, compressed, relocated, but never
+// stored to — never pay for 4 KB of backing storage. The returned slice is
+// scratch in that case and valid until scratch is reused; otherwise it
+// aliases internal storage exactly like Read.
+func (s *Store) ReadNoAlloc(a LineAddr, scratch []byte) []byte {
+	pn := uint64(a) / linesPerPage
+	p, ok := s.pages[pn]
+	if !ok {
+		return zeroLine[:]
+	}
+	if p == lazyPage {
+		if s.fill == nil {
+			return zeroLine[:]
+		}
+		s.fill(a, scratch)
+		return scratch
+	}
+	i := uint64(a) % linesPerPage
+	if s.fill != nil && p.mask&(1<<i) == 0 {
+		s.fill(a, p.lines[i][:])
+		p.mask |= 1 << i
+	}
+	return p.lines[i][:]
+}
+
+// pageFor returns (allocating as needed) the page holding line a.
+func (s *Store) pageFor(a LineAddr) *page {
+	pn := uint64(a) / linesPerPage
+	p, ok := s.pages[pn]
+	if !ok || p == lazyPage {
+		p = s.allocAt(pn)
+	}
+	return p
 }
 
 // Write replaces the contents of line a with data (which must be 64 bytes).
@@ -58,13 +148,10 @@ func (s *Store) Write(a LineAddr, data []byte) {
 	if len(data) != LineSize {
 		panic("mem: Write needs a 64-byte line")
 	}
-	pn := uint64(a) / linesPerPage
-	p, ok := s.pages[pn]
-	if !ok {
-		p = new(page)
-		s.pages[pn] = p
-	}
-	copy(p[uint64(a)%linesPerPage][:], data)
+	p := s.pageFor(a)
+	i := uint64(a) % linesPerPage
+	copy(p.lines[i][:], data)
+	p.mask |= 1 << i
 }
 
 // WritePartial overwrites size bytes at byte offset off within line a.
@@ -72,13 +159,16 @@ func (s *Store) WritePartial(a LineAddr, off int, data []byte) {
 	if off < 0 || off+len(data) > LineSize {
 		panic("mem: WritePartial out of range")
 	}
-	pn := uint64(a) / linesPerPage
-	p, ok := s.pages[pn]
-	if !ok {
-		p = new(page)
-		s.pages[pn] = p
+	p := s.pageFor(a)
+	i := uint64(a) % linesPerPage
+	if s.fill != nil && p.mask&(1<<i) == 0 {
+		// The untouched rest of the line must hold its synthesized value
+		// before part of it is overwritten.
+		s.fill(a, p.lines[i][:])
+		p.mask |= 1 << i
 	}
-	copy(p[uint64(a)%linesPerPage][off:], data)
+	copy(p.lines[i][off:], data)
+	p.mask |= 1 << i
 }
 
 // Touched reports whether line a has ever been written.
@@ -109,4 +199,75 @@ func (s *Store) TouchedLines() []LineAddr {
 // FootprintBytes returns the number of bytes of touched memory.
 func (s *Store) FootprintBytes() uint64 {
 	return uint64(len(s.pages)) * linesPerPage * LineSize
+}
+
+// SlabLines is the number of lines a Slab spans (one allocation page).
+const SlabLines = linesPerPage
+
+// Slab is direct storage access to the allocation page holding line base:
+// Line(i) returns the writable backing array of line base+i. It exists for
+// the epoch engine's parallel page initialization, which fills a page's
+// lines from several shard workers at once.
+//
+// Concurrency contract: distinct lines of a Slab may be written
+// concurrently (they are disjoint fixed-size arrays in one allocation; no
+// map access, no slice-header mutation), but Slab creation itself touches
+// the page map and must happen on the coordinating goroutine, before
+// workers start and strictly between epochs — never while another goroutine
+// reads the Store.
+type Slab struct {
+	p *page
+}
+
+// Slab returns (allocating if needed) the slab containing line base, which
+// must be slab-aligned. Slab access bypasses the per-line validity mask, so
+// it is incompatible with lazy filling: a store with a fill callback would
+// re-synthesize over slab-written lines on the next Read.
+func (s *Store) Slab(base LineAddr) Slab {
+	if uint64(base)%linesPerPage != 0 {
+		panic("mem: Slab base must be page-aligned")
+	}
+	if s.fill != nil {
+		panic("mem: Slab access on a lazily-filled store")
+	}
+	return Slab{p: s.pageFor(base)}
+}
+
+// SetLazyFill installs the synthesis callback lazily-initialized pages are
+// materialized with, one line at a time: the callback receives a line
+// address within a page registered by MarkLazy and must write that line's
+// initial contents (LineSize bytes) into buf. It runs on the goroutine that
+// owns the Store, at the first Read of a line that has neither been written
+// nor read before.
+func (s *Store) SetLazyFill(fill func(a LineAddr, buf []byte)) { s.fill = fill }
+
+// MarkLazy registers the (previously untouched) page at base — which must
+// be slab-aligned — as initialized-on-demand: it is Touched and counts
+// toward FootprintBytes immediately, but its 4 KB of storage is allocated
+// only when something reads or writes it, and each line is synthesized only
+// when something reads it before writing it. The epoch engine uses this for
+// first-touch page initialization of the architectural store, whose
+// contents are a pure function of each line's identity until the first
+// store to that line; lines that are initialized but never read back never
+// pay for synthesis at all. Requires SetLazyFill.
+func (s *Store) MarkLazy(base LineAddr) {
+	if uint64(base)%linesPerPage != 0 {
+		panic("mem: MarkLazy base must be page-aligned")
+	}
+	if s.fill == nil {
+		panic("mem: MarkLazy without SetLazyFill")
+	}
+	s.pages[uint64(base)/linesPerPage] = lazyPage
+}
+
+// Line returns the writable 64-byte backing slice of line i within the slab.
+func (sl Slab) Line(i int) []byte { return sl.p.lines[i][:] }
+
+// ShardOf maps a line address to its owning shard under the channel
+// interleave: groups of four lines (256 bytes) rotate across shards exactly
+// as dram.decode rotates them across channels, so shard-partitioned work
+// (page init, deferred verify) touches disjoint channel state. shards must
+// be a power of two.
+func ShardOf(a LineAddr, shards int) int {
+	return int((uint64(a) >> 2) & uint64(shards-1))
 }

@@ -34,30 +34,56 @@ type storeUnit struct {
 // the largest unit that compresses within budget (when compressing is
 // true), and emit the storage units to write. Returned evictees include
 // every line whose memory state this eviction touches.
+//
+// Every address the plan touches — the old unit's members, pulled
+// neighbors, unit homes — lies within the evictee's 4-line group, so the
+// working set is indexed by group position (core.GroupIndex) in fixed
+// arrays, and the returned slices are backed by the controller's scratch
+// arena (valid until the next planEviction). This runs on every LLC
+// writeback; it must not allocate.
 func (b *base) planEviction(e cache.Entry, compressing bool, budget int) ([]storeUnit, []evictee) {
 	// Reset the compression arena: blobs of the previous eviction have been
 	// sealed and written by now, so their bytes can be reclaimed.
 	b.scr.groupBuf = b.scr.groupBuf[:0]
 
 	x := evictee{addr: e.Tag, dirty: e.Dirty, oldLevel: e.Level}
+	gb := core.GroupBase(x.addr)
+
+	// The eviction set, indexed by position within x's group.
+	var set [core.GroupLines]evictee
+	var inSet [core.GroupLines]bool
+	set[core.GroupIndex(x.addr)], inSet[core.GroupIndex(x.addr)] = x, true
 
 	// Gang eviction: the old unit leaves the LLC together.
-	set := map[mem.LineAddr]evictee{x.addr: x}
 	oldHome := core.HomeFor(x.addr, x.oldLevel)
-	for _, m := range core.MembersAt(oldHome, x.oldLevel) {
+	oldFirst, oldN := core.MembersSpan(oldHome, x.oldLevel)
+	for j := 0; j < oldN; j++ {
+		m := oldFirst + mem.LineAddr(j)
 		if m == x.addr {
 			continue
 		}
+		gi := core.GroupIndex(m)
 		if old, ok := b.llc.Drop(m); ok {
-			set[m] = evictee{addr: m, dirty: old.Dirty, oldLevel: old.Level}
+			set[gi], inSet[gi] = evictee{addr: m, dirty: old.Dirty, oldLevel: old.Level}, true
 		} else {
 			// Memory-resident member of the broken unit: preserved via
 			// its architectural value (clean by definition).
-			set[m] = evictee{addr: m, oldLevel: x.oldLevel, ghost: true}
+			set[gi], inSet[gi] = evictee{addr: m, oldLevel: x.oldLevel, ghost: true}, true
 		}
 	}
 
-	group := core.MembersAt(core.GroupBase(x.addr), cache.Comp4)
+	// collectEvictees gathers the eviction set in group (address) order.
+	collectEvictees := func() []evictee {
+		evictees := b.scr.evEvictees[:0]
+		for gi := 0; gi < core.GroupLines; gi++ {
+			if inSet[gi] {
+				evictees = append(evictees, set[gi])
+			}
+		}
+		return evictees
+	}
+
+	units := b.scr.evUnits[:0]
 
 	// Compression disabled (Dynamic-PTMC): stop *actively compressing*,
 	// do not actively decompress (§V-A: "simply deciding to stop actively
@@ -68,28 +94,25 @@ func (b *base) planEviction(e cache.Entry, compressing bool, budget int) ([]stor
 	// it no longer does.
 	if !compressing && x.oldLevel != cache.Uncompressed {
 		anyDirty := false
-		for _, ev := range set {
-			anyDirty = anyDirty || ev.dirty
+		for gi := range set {
+			anyDirty = anyDirty || (inSet[gi] && set[gi].dirty)
 		}
 		u := storeUnit{home: oldHome, level: x.oldLevel, anyDirty: anyDirty, unchanged: !anyDirty}
-		members := core.MembersAt(oldHome, x.oldLevel)
+		members := b.scr.evMembers[0][:0]
 		lines := b.scr.lines[:0]
-		for _, m := range members {
-			u.members = append(u.members, set[m])
-			lines = append(lines, b.archLine(m))
+		for j := 0; j < oldN; j++ {
+			m := oldFirst + mem.LineAddr(j)
+			members = append(members, set[core.GroupIndex(m)])
+			lines = append(lines, b.archLineSlot(m, j))
 		}
+		u.members = members
 		fits := true
 		if anyDirty {
 			u.blob, fits = b.compressGroup(lines, budget)
 		}
 		if fits {
-			evictees := make([]evictee, 0, len(set))
-			for _, m := range group {
-				if ev, ok := set[m]; ok {
-					evictees = append(evictees, ev)
-				}
-			}
-			return []storeUnit{u}, evictees
+			units = append(units, u)
+			return units, collectEvictees()
 		}
 		// No longer fits: fall through to the singles breakup below.
 	}
@@ -97,8 +120,8 @@ func (b *base) planEviction(e cache.Entry, compressing bool, budget int) ([]stor
 	// available reports whether line m can join a new unit without a
 	// read-modify-write: it is in our eviction set or resident in the LLC.
 	available := func(m mem.LineAddr) (evictee, bool) {
-		if ev, ok := set[m]; ok {
-			return ev, true
+		if gi := core.GroupIndex(m); inSet[gi] {
+			return set[gi], true
 		}
 		if compressing {
 			if old, ok := b.llc.Probe(m); ok && old.Valid {
@@ -111,72 +134,75 @@ func (b *base) planEviction(e cache.Entry, compressing bool, budget int) ([]stor
 	// pull moves an LLC-resident neighbor into the eviction set (it joins
 	// a new compressed unit, so it must leave the LLC — ganged eviction).
 	pull := func(ev evictee) evictee {
-		if _, ok := set[ev.addr]; ok {
-			return set[ev.addr]
+		gi := core.GroupIndex(ev.addr)
+		if inSet[gi] {
+			return set[gi]
 		}
 		if old, ok := b.llc.Drop(ev.addr); ok {
 			ev.dirty, ev.oldLevel = old.Dirty, old.Level
 		}
-		set[ev.addr] = ev
+		set[gi], inSet[gi] = ev, true
 		return ev
 	}
 
-	assigned := map[mem.LineAddr]bool{}
-	var units []storeUnit
+	var assigned [core.GroupLines]bool
 
 	// Try 4:1 across the whole group.
 	if compressing {
-		var evs [4]evictee
+		var evs [core.GroupLines]evictee
 		lines := b.scr.lines[:0]
 		ok := true
-		for i, m := range group {
+		for i := 0; i < core.GroupLines; i++ {
+			m := gb + mem.LineAddr(i)
 			ev, avail := available(m)
 			if !avail {
 				ok = false
 				break
 			}
 			evs[i] = ev
-			lines = append(lines, b.archLine(m))
+			lines = append(lines, b.archLineSlot(m, i))
 		}
 		if ok {
 			if blob, fits := b.compressGroup(lines, budget); fits {
-				u := storeUnit{home: group[0], level: cache.Comp4, blob: blob}
+				u := storeUnit{home: gb, level: cache.Comp4, blob: blob}
+				members := b.scr.evMembers[len(units)][:0]
 				for i := range evs {
 					evs[i] = pull(evs[i])
-					u.members = append(u.members, evs[i])
+					members = append(members, evs[i])
 					u.anyDirty = u.anyDirty || evs[i].dirty
-					assigned[evs[i].addr] = true
+					assigned[i] = true
 				}
+				u.members = members
 				units = append(units, u)
 			}
 		}
 	}
 
 	// Try 2:1 per pair for anything still unassigned in our set.
-	for _, pb := range []mem.LineAddr{group[0], group[2]} {
-		p0, p1 := pb, pb+1
-		if assigned[p0] && assigned[p1] {
+	for pi := 0; pi < 2; pi++ {
+		i0, i1 := 2*pi, 2*pi+1
+		pb := gb + mem.LineAddr(i0)
+		if assigned[i0] && assigned[i1] {
 			continue
 		}
-		_, in0 := set[p0]
-		_, in1 := set[p1]
-		if !in0 && !in1 {
+		if !inSet[i0] && !inSet[i1] {
 			continue // pair untouched by this eviction
 		}
 		if compressing {
-			ev0, a0 := available(p0)
-			ev1, a1 := available(p1)
+			ev0, a0 := available(pb)
+			ev1, a1 := available(pb + 1)
 			if a0 && a1 {
-				lines := append(b.scr.lines[:0], b.archLine(p0), b.archLine(p1))
+				lines := append(b.scr.lines[:0], b.archLineSlot(pb, 0), b.archLineSlot(pb+1, 1))
 				blob, fits := b.compressGroup(lines, budget)
 				if fits {
 					ev0, ev1 = pull(ev0), pull(ev1)
+					members := append(b.scr.evMembers[len(units)][:0], ev0, ev1)
 					units = append(units, storeUnit{
 						home: pb, level: cache.Comp2, blob: blob,
-						members:  []evictee{ev0, ev1},
+						members:  members,
 						anyDirty: ev0.dirty || ev1.dirty,
 					})
-					assigned[p0], assigned[p1] = true, true
+					assigned[i0], assigned[i1] = true, true
 					continue
 				}
 			}
@@ -184,17 +210,17 @@ func (b *base) planEviction(e cache.Entry, compressing bool, budget int) ([]stor
 	}
 
 	// Singles for everything left in the set.
-	for _, m := range group {
-		ev, in := set[m]
-		if !in || assigned[m] {
+	for gi := 0; gi < core.GroupLines; gi++ {
+		if !inSet[gi] || assigned[gi] {
 			continue
 		}
+		members := append(b.scr.evMembers[len(units)][:0], set[gi])
 		units = append(units, storeUnit{
-			home: m, level: cache.Uncompressed,
-			members:  []evictee{ev},
-			anyDirty: ev.dirty,
+			home: gb + mem.LineAddr(gi), level: cache.Uncompressed,
+			members:  members,
+			anyDirty: set[gi].dirty,
 		})
-		assigned[m] = true
+		assigned[gi] = true
 	}
 
 	// Mark units whose memory image is already correct.
@@ -213,27 +239,24 @@ func (b *base) planEviction(e cache.Entry, compressing bool, budget int) ([]stor
 		u.unchanged = same
 	}
 
-	evictees := make([]evictee, 0, len(set))
-	for _, m := range group {
-		if ev, ok := set[m]; ok {
-			evictees = append(evictees, ev)
-		}
-	}
-	return units, evictees
+	return units, collectEvictees()
 }
 
 // staleLocations returns the member locations that held valid data before
 // this eviction but are not a home afterwards — the locations PTMC must
 // tombstone with Marker-IL (§IV-C "Efficiently Invalidating Stale Copies").
-func staleLocations(units []storeUnit, evictees []evictee) []mem.LineAddr {
-	newHome := map[mem.LineAddr]bool{}
+// All homes and evictee addresses lie within one 4-line group, so the
+// lookup set is a fixed array indexed by group position and the result is
+// backed by the controller's scratch arena (valid until the next call).
+func (b *base) staleLocations(units []storeUnit, evictees []evictee) []mem.LineAddr {
+	var newHome [core.GroupLines]bool
 	for _, u := range units {
-		newHome[u.home] = true
+		newHome[core.GroupIndex(u.home)] = true
 	}
-	var out []mem.LineAddr
+	out := b.scr.staleBuf[:0]
 	for _, ev := range evictees {
 		ownWasValid := core.HomeFor(ev.addr, ev.oldLevel) == ev.addr
-		if ownWasValid && !newHome[ev.addr] {
+		if ownWasValid && !newHome[core.GroupIndex(ev.addr)] {
 			out = append(out, ev.addr)
 		}
 	}

@@ -51,7 +51,7 @@ func TestPlanQuadFromFourResidents(t *testing.T) {
 		}
 	}
 	// Invalidates: locations 101..103 held valid data before.
-	stale := staleLocations(units, evictees)
+	stale := b.staleLocations(units, evictees)
 	if len(stale) != 3 {
 		t.Errorf("stale locations = %v, want 3", stale)
 	}
@@ -112,7 +112,7 @@ func TestPlanDisabledCleanCompressedUnitIsLeftAlone(t *testing.T) {
 	if len(units) != 1 || !units[0].unchanged {
 		t.Fatalf("units = %+v, want one unchanged unit", units)
 	}
-	if len(staleLocations(units, evictees)) != 0 {
+	if len(b.staleLocations(units, evictees)) != 0 {
 		t.Error("unchanged unit must not create tombstones")
 	}
 	if _, in := llc.c.Probe(401); in {
@@ -136,7 +136,7 @@ func TestPlanDisabledDirtyMaintainsFittingUnit(t *testing.T) {
 	if units[0].blob == nil {
 		t.Error("re-sealed unit needs its payload")
 	}
-	if n := len(staleLocations(units, evictees)); n != 0 {
+	if n := len(b.staleLocations(units, evictees)); n != 0 {
 		t.Errorf("stale locations = %d, want 0", n)
 	}
 }
@@ -159,7 +159,7 @@ func TestPlanDisabledDirtyBreaksWhenUnfit(t *testing.T) {
 			t.Errorf("unit level = %v, want uncompressed", u.level)
 		}
 	}
-	if n := len(staleLocations(units, evictees)); n != 0 {
+	if n := len(b.staleLocations(units, evictees)); n != 0 {
 		t.Errorf("stale locations = %d, want 0", n)
 	}
 }
@@ -216,7 +216,7 @@ func TestPlanOpportunisticQuadPullsOtherPair(t *testing.T) {
 		t.Errorf("evictees = %d, want 4", len(evictees))
 	}
 	// 702's own location held valid data and is not a home now.
-	stale := staleLocations(units, evictees)
+	stale := b.staleLocations(units, evictees)
 	want := map[mem.LineAddr]bool{702: true, 703: true}
 	for _, s := range stale {
 		if !want[s] {

@@ -129,6 +129,21 @@ type Controller interface {
 	DRAM() *dram.DRAM
 }
 
+// ShardIniter is the optional Controller extension the epoch engine uses
+// for parallel first-touch page initialization. The engine synthesizes a
+// line's architectural value directly into its DRAM-image storage (obtained
+// via mem.Slab) and then asks InitLineReady whether those bytes are a valid
+// initial image as-is, touching no shared controller state — the check must
+// be read-only. It returns false when the line needs the full serial
+// InitLine path (e.g. a PTMC marker collision requiring LIT maintenance);
+// the caller must then re-run those lines serially, in ascending address
+// order, after the parallel pass. Controllers without the method (TableTMC,
+// MemZip — their init paths mutate metadata tables) always initialize
+// serially.
+type ShardIniter interface {
+	InitLineReady(a mem.LineAddr, data []byte) bool
+}
+
 // kind tags a DRAM request for stats accounting.
 type kind int
 
@@ -265,6 +280,18 @@ func (b *base) issue(a mem.LineAddr, write bool, k kind, now int64, done Done) (
 	return false
 }
 
+// NextEventCycle returns the earliest CPU cycle at which ticking the
+// controller can change state, for the epoch engine's cycle skipping: the
+// next bus cycle while a retry backlog exists (each tick drains it), else
+// whatever the DRAM model reports.
+func (b *base) NextEventCycle(now int64) int64 {
+	if len(b.retry) > 0 {
+		r := int64(b.d.Config().BusRatio)
+		return (now/r + 1) * r
+	}
+	return b.d.NextEventCycle()
+}
+
 // Tick drains the retry queue and advances DRAM.
 func (b *base) Tick(now int64) {
 	for len(b.retry) > 0 {
@@ -294,6 +321,20 @@ type scratch struct {
 	lineBuf  [4][compress.LineSize]byte
 	lineRefs [4][]byte
 	lines    [4][]byte // gathers input line refs for CompressGroup
+	// archBufs backs archLineSlot: up to one architectural line per group
+	// slot may be synthesized into scratch by the arch store's lazy fill
+	// (mem.Store.ReadNoAlloc) and must stay valid while the whole group is
+	// gathered for compression.
+	archBufs [4][mem.LineSize]byte
+	// Eviction-planning arenas. planEviction's unit list, per-unit member
+	// lists, and evictee list are backed here: a plan never exceeds four
+	// units (one per group slot) nor four members in total, because every
+	// line it touches lies within the evictee's 4-line group. Valid until
+	// the next planEviction call; callers consume them within Evict.
+	evUnits    [4]storeUnit
+	evMembers  [4][4]evictee
+	evEvictees [4]evictee
+	staleBuf   [4]mem.LineAddr
 }
 
 // decodeGroup decompresses an n-member unit into the scratch line buffers.
@@ -325,11 +366,21 @@ func (b *base) compressGroup(lines [][]byte, budget int) ([]byte, bool) {
 // archLine returns the architectural (ground-truth) value of a line.
 func (b *base) archLine(a mem.LineAddr) []byte { return b.arch.Read(a) }
 
+// archLineSlot is archLine for inspection paths (integrity checks, group
+// gathers): it goes through mem.Store.ReadNoAlloc with per-slot scratch, so
+// a line of a lazily-initialized, never-stored architectural page is
+// synthesized into scratch instead of forcing the page to allocate, and up
+// to four lines of one compression group can be held simultaneously. slot
+// must be the line's position in the group being gathered (0-3).
+func (b *base) archLineSlot(a mem.LineAddr, slot int) []byte {
+	return b.arch.ReadNoAlloc(a, b.scr.archBufs[slot][:])
+}
+
 // checkIntegrity compares a decoded fill against the architectural value;
 // mismatches indicate a broken memory image and are counted (tests assert
 // zero).
 func (b *base) checkIntegrity(a mem.LineAddr, got []byte) {
-	want := b.arch.Read(a)
+	want := b.arch.ReadNoAlloc(a, b.scr.archBufs[0][:])
 	for i := range got {
 		if got[i] != want[i] {
 			b.st.IntegrityErrs++

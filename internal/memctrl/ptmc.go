@@ -22,6 +22,10 @@ type PTMC struct {
 	dyn        *core.Dynamic // nil => static PTMC (always compress)
 	rekeyDepth int
 
+	// sink, when set, defers compressed-fill integrity verification to
+	// epoch-boundary batch drains (see VerifySink). nil = inline checks.
+	sink *VerifySink
+
 	// oracle mode (Ideal-TMC): line locations are known for free and
 	// compression maintenance consumes no DRAM bandwidth.
 	oracle bool
@@ -88,6 +92,32 @@ func (p *PTMC) Markers() *core.MarkerGen { return p.markers }
 
 // Dynamic exposes the Dynamic-PTMC policy (nil for static PTMC).
 func (p *PTMC) Dynamic() *core.Dynamic { return p.dyn }
+
+// SetVerifySink attaches (or, with nil, detaches) a deferred-verification
+// sink. Timing, installs, and every non-integrity stat are identical with
+// and without a sink; only where the decode-and-compare work runs moves.
+func (p *PTMC) SetVerifySink(s *VerifySink) { p.sink = s }
+
+// AttachVerifySink builds a sink over the controller's own compression
+// algorithm, attaches it, and returns it for the caller to drain.
+func (p *PTMC) AttachVerifySink() *VerifySink {
+	s := NewVerifySink(p.alg)
+	p.sink = s
+	return s
+}
+
+// InitLineReady implements ShardIniter: the common first-touch case — no
+// marker collision — keeps the raw value already synthesized into the
+// line's image storage, touching nothing shared. The collision check itself
+// is read-only (marker generation state is immutable between re-keys, and
+// re-keys cannot happen mid-epoch). Collisions return false for serial
+// handling: they need LIT insertion and possibly a re-key, which mutate
+// controller state. A collision-free line needs no lit.Remove, unlike
+// writeRaw, because first touch means the address was never inverted
+// (internal/vm never reuses a physical page).
+func (p *PTMC) InitLineReady(a mem.LineAddr, data []byte) bool {
+	return !p.markers.CollidesWithMarkers(a, data)
+}
 
 // sampled reports whether a line belongs to a sampled (always-compress)
 // region. Sampling is keyed on the LLC set of the group base and decided
@@ -230,7 +260,9 @@ func (p *PTMC) Scrub(a mem.LineAddr) {
 	if p.tr != nil {
 		p.tr.Emit(obs.KindScrub, 0, 0, 0, uint64(core.GroupBase(a)), 0)
 	}
-	for _, m := range core.MembersAt(core.GroupBase(a), cache.Comp4) {
+	gb := core.GroupBase(a)
+	for i := 0; i < core.GroupLines; i++ {
+		m := gb + mem.LineAddr(i)
 		p.writeRaw(m, p.arch.Read(m), 0, false, kDirtyWrite)
 		if e, in := p.llc.Probe(m); in {
 			e.Level = cache.Uncompressed
@@ -243,7 +275,7 @@ func (p *PTMC) Scrub(a mem.LineAddr) {
 // remaining candidate locations on a misprediction.
 func (p *PTMC) Read(core_ int, a mem.LineAddr, now int64, done Done) {
 	if p.oracle {
-		p.tryRead(core_, a, p.oracleHome(a), false, map[mem.LineAddr]bool{}, now, done)
+		p.tryRead(core_, a, p.oracleHome(a), false, 0, now, done)
 		return
 	}
 	predicted := cache.Uncompressed
@@ -253,13 +285,14 @@ func (p *PTMC) Read(core_ int, a mem.LineAddr, now int64, done Done) {
 		counted = true
 	}
 	first := core.HomeFor(a, predicted)
-	p.tryRead(core_, a, first, counted, map[mem.LineAddr]bool{}, now, done)
+	p.tryRead(core_, a, first, counted, 0, now, done)
 }
 
 // oracleHome peeks at the memory image (free in Ideal-TMC) to find the
 // location that actually covers line a.
 func (p *PTMC) oracleHome(a mem.LineAddr) mem.LineAddr {
-	for _, cand := range core.CandidateHomes(a) {
+	var homes [3]mem.LineAddr
+	for _, cand := range core.AppendCandidateHomes(homes[:0], a) {
 		switch p.markers.Classify(cand, p.img.Read(cand)) {
 		case core.ClassComp2:
 			if core.Covers(cand, cache.Comp2, a) {
@@ -278,19 +311,23 @@ func (p *PTMC) oracleHome(a mem.LineAddr) mem.LineAddr {
 	return a
 }
 
-// tryRead probes one candidate home. attempts tracks homes already probed;
-// the first probe is the demand access, later ones are mispredict costs.
+// tryRead probes one candidate home. tried is the set of homes already
+// probed, as a bitmask indexed by group position (every candidate home lies
+// within a's 4-line group, so three candidates fit in one byte and the read
+// path carries no per-read map). The first probe is the demand access, later
+// ones are mispredict costs.
 func (p *PTMC) tryRead(core_ int, a, home mem.LineAddr, counted bool,
-	tried map[mem.LineAddr]bool, now int64, done Done) {
+	tried uint8, now int64, done Done) {
 
 	k := kDemandRead
-	if len(tried) > 0 {
+	if tried != 0 {
 		k = kMispredictRead
 		if p.sampled(a) {
 			p.dyn.Cost(core_)
 		}
 	}
-	tried[home] = true
+	firstTry := tried == 0
+	tried |= 1 << uint(core.GroupIndex(home))
 
 	var coalesced bool
 	coalesced = p.issue(home, false, k, now, func(c int64) {
@@ -303,7 +340,7 @@ func (p *PTMC) tryRead(core_ int, a, home mem.LineAddr, counted bool,
 				level = cache.Comp4
 			}
 			if core.Covers(home, level, a) {
-				if coalesced && len(tried) == 1 {
+				if coalesced && firstTry {
 					if e, in := p.llc.Probe(a); in {
 						// This demand was served by a burst already in
 						// flight for a co-located neighbor: the primary
@@ -330,7 +367,7 @@ func (p *PTMC) tryRead(core_ int, a, home mem.LineAddr, counted bool,
 					// line (its own probe of this home missed): this fill
 					// is real work, accounted normally below.
 				}
-				p.fillCompressed(core_, a, home, level, data, counted, len(tried) == 1, c, done)
+				p.fillCompressed(core_, a, home, level, data, counted, firstTry, c, done)
 				return
 			}
 		case core.ClassInvComp2, core.ClassInvComp4, core.ClassInvIL:
@@ -344,12 +381,12 @@ func (p *PTMC) tryRead(core_ int, a, home mem.LineAddr, counted bool,
 				if inverted {
 					val = core.Invert(data)
 				}
-				p.fillUncompressed(core_, a, val, counted, len(tried) == 1, c, done)
+				p.fillUncompressed(core_, a, val, counted, firstTry, c, done)
 				return
 			}
 		case core.ClassUncompressed:
 			if home == a {
-				p.fillUncompressed(core_, a, data, counted, len(tried) == 1, c, done)
+				p.fillUncompressed(core_, a, data, counted, firstTry, c, done)
 				return
 			}
 		case core.ClassInvalid:
@@ -361,9 +398,10 @@ func (p *PTMC) tryRead(core_ int, a, home mem.LineAddr, counted bool,
 
 // retryRead falls through the remaining candidate locations.
 func (p *PTMC) retryRead(core_ int, a mem.LineAddr, counted bool,
-	tried map[mem.LineAddr]bool, now int64, done Done) {
-	for _, cand := range core.CandidateHomes(a) {
-		if !tried[cand] {
+	tried uint8, now int64, done Done) {
+	var homes [3]mem.LineAddr
+	for _, cand := range core.AppendCandidateHomes(homes[:0], a) {
+		if tried&(1<<uint(core.GroupIndex(cand))) == 0 {
 			p.tryRead(core_, a, cand, counted, tried, now, done)
 			return
 		}
@@ -380,8 +418,32 @@ func (p *PTMC) retryRead(core_ int, a mem.LineAddr, counted bool,
 func (p *PTMC) fillCompressed(core_ int, a, home mem.LineAddr, level cache.Level,
 	data []byte, counted, firstTry bool, now int64, done Done) {
 
-	members := core.MembersAt(home, level)
-	lines, err := p.decodeGroup(data[:core.CompressedBudget], len(members))
+	first, n := core.MembersSpan(home, level)
+	if p.sink != nil {
+		// Deferred verification: identical installs, stats, training, and
+		// timing; the decode-and-compare moves to the sink's batch drain.
+		p.st.FillsCompressed++
+		p.llp.Record(a, level, counted, firstTry)
+		c := now + p.decompLat
+		var mask uint8
+		for i := 0; i < n; i++ {
+			m := first + mem.LineAddr(i)
+			if _, in := p.llc.Probe(m); in {
+				continue // LLC copy may be newer; never overwrite it
+			}
+			mask |= 1 << uint(i)
+			if m == a {
+				p.install(core_, m, false, false, level, c)
+			} else {
+				p.st.FreeInstalls++
+				p.install(core_, m, false, true, level, c)
+			}
+		}
+		p.sink.add(home, first, n, mask, data[:core.CompressedBudget], p.arch)
+		done(c)
+		return
+	}
+	lines, err := p.decodeGroup(data[:core.CompressedBudget], n)
 	if err != nil {
 		// Undecodable unit: a detected fault (ErrUndecodable class). Fall
 		// back to an uncompressed fill of the architectural value.
@@ -392,7 +454,8 @@ func (p *PTMC) fillCompressed(core_ int, a, home mem.LineAddr, level cache.Level
 	p.st.FillsCompressed++
 	p.llp.Record(a, level, counted, firstTry)
 	c := now + p.decompLat
-	for i, m := range members {
+	for i := 0; i < n; i++ {
+		m := first + mem.LineAddr(i)
 		if _, in := p.llc.Probe(m); in {
 			continue // LLC copy may be newer; never overwrite it
 		}
@@ -466,11 +529,11 @@ func (p *PTMC) Evict(core_ int, e cache.Entry, now int64) {
 			}
 		default:
 			p.st.SinglesWrit++
-			p.writeRaw(u.home, p.arch.Read(u.home), now, charge, k)
+			p.writeRaw(u.home, p.archLineSlot(u.home, 0), now, charge, k)
 		}
 	}
 
-	for _, loc := range staleLocations(units, evictees) {
+	for _, loc := range p.staleLocations(units, evictees) {
 		p.writeInvalid(loc, now, !p.oracle)
 		if sampled {
 			p.dyn.Cost(int(e.Core))

@@ -1,0 +1,113 @@
+package memctrl
+
+import (
+	"ptmc/internal/compress"
+	"ptmc/internal/core"
+	"ptmc/internal/mem"
+)
+
+// VerifySink defers the decode-and-compare integrity check of compressed
+// fills so the epoch engine can batch it onto shard workers. The serial
+// fill path decodes every compressed unit inline and compares each
+// installed member against the architectural store; with a sink attached,
+// PTMC performs the identical installs, stats, LLP training, and timing,
+// but records the unit — the compressed blob and a snapshot of the masked
+// members' architectural values, both captured at completion time, before
+// any later eviction or store can rewrite them — and the engine drains the
+// batch at epoch boundaries, partitioned by the channel-interleave shard
+// key so drains parallelize without sharing state.
+//
+// The one observable difference from the inline check is fault response
+// timing: an undecodable unit is detected at drain rather than at fill, so
+// the fallback fill the serial path would synthesize does not happen.
+// Healthy runs never decode-fail (a tested invariant), and the fault
+// campaigns construct their own serial controllers, so the sink is only
+// attached where the two behaviors coincide.
+type VerifySink struct {
+	alg     compress.Algorithm
+	entries []verifyEntry
+}
+
+type verifyEntry struct {
+	home mem.LineAddr
+	n    uint8 // unit members (2 or 4)
+	mask uint8 // bit i set => member i was installed and must verify
+	blob [core.CompressedBudget]byte
+	arch [4][mem.LineSize]byte // architectural snapshots of masked members
+}
+
+// VerifyCounts is one shard's drain result, merged into Stats by the
+// caller. Both counters are commutative sums, so merge order cannot affect
+// the final report.
+type VerifyCounts struct {
+	IntegrityErrs    uint64
+	UndecodableUnits uint64
+}
+
+// NewVerifySink builds a sink decoding with alg (the controller's own
+// compression algorithm).
+func NewVerifySink(alg compress.Algorithm) *VerifySink {
+	return &VerifySink{alg: alg}
+}
+
+// add records one compressed fill for deferred verification of the unit's
+// n members starting at line first. Called from the fill path
+// (single-goroutine), so plain appends suffice; entry memory is reused
+// across Reset cycles. Snapshots read through ReadNoAlloc with the entry's
+// own buffer as scratch, so verifying a member of a lazily-initialized,
+// never-stored page does not materialize the page (the self-copy when the
+// value is synthesized directly into the buffer is a no-op).
+func (s *VerifySink) add(home, first mem.LineAddr, n int, mask uint8, blob []byte, arch *mem.Store) {
+	s.entries = append(s.entries, verifyEntry{})
+	e := &s.entries[len(s.entries)-1]
+	e.home, e.n, e.mask = home, uint8(n), mask
+	copy(e.blob[:], blob)
+	for i := 0; i < n; i++ {
+		if mask&(1<<uint(i)) != 0 {
+			copy(e.arch[i][:], arch.ReadNoAlloc(first+mem.LineAddr(i), e.arch[i][:]))
+		}
+	}
+}
+
+// Pending returns the number of recorded, not-yet-drained units.
+func (s *VerifySink) Pending() int { return len(s.entries) }
+
+// DrainShard verifies every recorded unit owned by shard (of shards total,
+// keyed on the unit's home address) and returns the counts. It only reads
+// the entry slice, so distinct shards drain concurrently; the caller resets
+// the sink after all shards finish.
+func (s *VerifySink) DrainShard(shard, shards int) VerifyCounts {
+	var counts VerifyCounts
+	var bufs [4][compress.LineSize]byte
+	var refs [4][]byte
+	for i := range s.entries {
+		e := &s.entries[i]
+		if mem.ShardOf(e.home, shards) != shard {
+			continue
+		}
+		n := int(e.n)
+		for j := 0; j < n; j++ {
+			refs[j] = bufs[j][:]
+		}
+		if err := compress.DecompressGroupInto(s.alg, refs[:n], e.blob[:], n); err != nil {
+			counts.UndecodableUnits++
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if e.mask&(1<<uint(j)) == 0 {
+				continue
+			}
+			got, want := refs[j], e.arch[j][:]
+			for k := range got {
+				if got[k] != want[k] {
+					counts.IntegrityErrs++
+					break
+				}
+			}
+		}
+	}
+	return counts
+}
+
+// Reset discards drained entries, keeping capacity for the next epoch.
+func (s *VerifySink) Reset() { s.entries = s.entries[:0] }

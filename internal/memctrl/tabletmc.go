@@ -71,7 +71,7 @@ func (t *TableTMC) Read(core_ int, a mem.LineAddr, now int64, done Done) {
 
 // fill decodes the unit at home and installs its members.
 func (t *TableTMC) fill(core_ int, a, home mem.LineAddr, level cache.Level, now int64, done Done) {
-	members := core.MembersAt(home, level)
+	first, n := core.MembersSpan(home, level)
 	if level == cache.Uncompressed {
 		t.st.FillsUncompressed++
 		t.checkIntegrity(a, t.img.Read(a))
@@ -79,7 +79,7 @@ func (t *TableTMC) fill(core_ int, a, home mem.LineAddr, level cache.Level, now 
 		done(now)
 		return
 	}
-	lines, err := t.decodeGroup(t.img.Read(home), len(members))
+	lines, err := t.decodeGroup(t.img.Read(home), n)
 	if err != nil {
 		t.st.IntegrityErrs++
 		t.install(core_, a, false, false, level, now)
@@ -88,7 +88,8 @@ func (t *TableTMC) fill(core_ int, a, home mem.LineAddr, level cache.Level, now 
 	}
 	t.st.FillsCompressed++
 	c := now + t.decompLat
-	for i, m := range members {
+	for i := 0; i < n; i++ {
+		m := first + mem.LineAddr(i)
 		if _, in := t.llc.Probe(m); in {
 			continue
 		}
@@ -134,7 +135,7 @@ func (t *TableTMC) Evict(core_ int, e cache.Entry, now int64) {
 			t.img.Write(u.home, img[:])
 		default:
 			t.st.SinglesWrit++
-			t.img.Write(u.home, t.arch.Read(u.home))
+			t.img.Write(u.home, t.archLineSlot(u.home, 0))
 		}
 		t.issue(u.home, true, k, now, nil)
 		if changedLevel {

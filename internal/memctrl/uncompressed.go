@@ -23,6 +23,13 @@ func (u *Uncompressed) InitLine(a mem.LineAddr) {
 	u.img.Write(a, u.arch.Read(a))
 }
 
+// InitLineReady implements ShardIniter: the baseline image is the raw
+// value, so whatever was synthesized in place is already correct.
+// NextLinePrefetch inherits it.
+func (u *Uncompressed) InitLineReady(a mem.LineAddr, data []byte) bool {
+	return true
+}
+
 // Read implements Controller.
 func (u *Uncompressed) Read(core int, a mem.LineAddr, now int64, done Done) {
 	u.issue(a, false, kDemandRead, now, func(c int64) {

@@ -1,0 +1,28 @@
+package obs
+
+import "testing"
+
+// TestDisabledObservabilityZeroAlloc is the shipping-default guard: with
+// observability disabled (nil instruments — what every simulation runs with
+// unless -metrics/-trace is passed), the hot-path entry points must not
+// allocate at all. The Benchmark variants in bench_test.go measure the
+// same paths; this test makes the invariant part of the plain `go test`
+// tier so a regression cannot land unnoticed.
+func TestDisabledObservabilityZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	if n := testing.AllocsPerRun(200, func() {
+		tr.Emit(KindFill, 1, 0, 0, 64, 0)
+	}); n != 0 {
+		t.Errorf("nil Tracer.Emit allocates %.1f/op, want 0", n)
+	}
+
+	var h *Histogram
+	if n := testing.AllocsPerRun(200, func() { h.Observe(7) }); n != 0 {
+		t.Errorf("nil Histogram.Observe allocates %.1f/op, want 0", n)
+	}
+
+	var r *Registry
+	if n := testing.AllocsPerRun(200, func() { r.Snapshot(1) }); n != 0 {
+		t.Errorf("nil Registry.Snapshot allocates %.1f/op, want 0", n)
+	}
+}

@@ -1,0 +1,46 @@
+package paper
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestPaperbenchArtifactShardIdentity renders the same paperbench
+// experiment at shard counts 1, 2, and 8 and requires the emitted artifact
+// to be byte-identical: the epoch engine must not change a single formatted
+// digit of any report. Figure 12 is used because it spans three schemes
+// (uncompressed baseline, Table-TMC, PTMC) through the full Runner path —
+// config construction, the dedup cache, speedup aggregation, and table
+// rendering.
+func TestPaperbenchArtifactShardIdentity(t *testing.T) {
+	render := func(shards int) string {
+		opts := Options{
+			Cores:   8,
+			Warmup:  10_000,
+			Measure: 10_000,
+			Seed:    1,
+			Spec:    []string{},
+			Graph:   []string{},
+			Mixes:   []string{"mix1"},
+			L3MB:    8,
+			Silent:  true,
+			Shards:  shards,
+		}
+		var buf bytes.Buffer
+		r := NewRunner(opts, &buf)
+		if err := r.Figure12(); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		return buf.String()
+	}
+
+	ref := render(1)
+	if ref == "" {
+		t.Fatal("empty artifact")
+	}
+	for _, shards := range []int{2, 8} {
+		if got := render(shards); got != ref {
+			t.Errorf("artifact at shards=%d differs from serial:\n%s\nvs\n%s", shards, got, ref)
+		}
+	}
+}

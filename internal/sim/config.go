@@ -57,6 +57,15 @@ type Config struct {
 	PerCoreDyn   bool
 	LITMode      core.LITMode
 
+	// Shards selects the epoch execution engine for this simulation's hot
+	// path: 0 or 1 runs the reference serial cycle loop; a power of two >= 2
+	// runs the epoch engine, which skips provably eventless cycles and
+	// spreads page initialization and deferred fill verification across that
+	// many shard workers (real goroutines only when GOMAXPROCS > 1; inline
+	// otherwise). Results are byte-identical at every value — a tested
+	// invariant — so Shards is purely a performance knob.
+	Shards int
+
 	// Horizon (per core, instructions).
 	WarmupInstr  int64
 	MeasureInstr int64
@@ -116,6 +125,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("sim: MeasureInstr must be positive")
 	case c.CPUFreqGHz <= 0:
 		return fmt.Errorf("sim: CPU frequency must be positive")
+	case c.Shards < 0 || c.Shards > 256 || (c.Shards > 1 && c.Shards&(c.Shards-1) != 0):
+		return fmt.Errorf("sim: Shards must be 0, 1, or a power of two <= 256, got %d", c.Shards)
 	}
 	ok := false
 	for _, s := range Schemes() {

@@ -1,0 +1,362 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"ptmc/internal/cpu"
+	"ptmc/internal/mem"
+	"ptmc/internal/memctrl"
+	"ptmc/internal/vm"
+)
+
+// verifyBatchThreshold bounds the deferred-verification backlog: once this
+// many compressed fills are recorded the engine drains them at the next bus
+// tick, keeping the sink's snapshot memory from growing with the run.
+const verifyBatchThreshold = 2048
+
+// shardEngine is the epoch execution engine behind Config.Shards >= 2. It
+// accelerates a single simulation two ways while keeping results
+// byte-identical to the serial loop (a tested invariant):
+//
+//   - cycle skipping: between epochs it computes, from every core's ROB
+//     state (cpu.NextWake) and the memory controller's event schedule
+//     (NextEventCycle), the earliest cycle at which anything can happen,
+//     and jumps there — the serial loop burns a full core+controller sweep
+//     on each provably eventless cycle;
+//   - shard fan-out: first-touch page initialization and deferred
+//     compressed-fill verification are partitioned by the DRAM channel
+//     interleave key (mem.ShardOf) and run across shard workers. Workers
+//     are real goroutines only when GOMAXPROCS > 1; on a single-CPU host
+//     the fan-out runs inline, same semantics, no scheduling overhead.
+type shardEngine struct {
+	s      *Simulator
+	shards int
+
+	// initer/sink/nexter are the controller's optional fast-path hooks;
+	// each degrades independently to the serial behavior when absent.
+	initer memctrl.ShardIniter
+	sink   *memctrl.VerifySink
+	nexter interface{ NextEventCycle(int64) int64 }
+
+	parallel bool // real worker goroutines (GOMAXPROCS > 1)
+	started  bool
+	jobs     []chan func(shard int)
+	wg       sync.WaitGroup
+
+	counts  []memctrl.VerifyCounts // per-shard drain results
+	collide [][]mem.LineAddr       // per-shard init collisions for serial fixup
+
+	// lazyArch, when true, defers architectural-line synthesis entirely:
+	// initPage registers each first-touch page with mem.Store.MarkLazy and
+	// records its origin here; the store synthesizes a line — through
+	// archLine — only when something actually reads it before writing it.
+	// Stores allocate the page's backing without synthesizing anything,
+	// and lines that are never read back (initialized, maybe dirtied,
+	// never inspected) skip synthesis altogether. Requires every stream to
+	// implement FillLineInit (version 0 is provable at synthesis time; see
+	// archLine).
+	lazyArch bool
+	origins  map[mem.LineAddr]pageOrigin
+}
+
+// fillIniter is the first-touch specialization of workload.Source.FillLine
+// (mutation count provably zero, version-map lookup skipped).
+type fillIniter interface{ FillLineInit(vline uint64, buf []byte) }
+
+// pageOrigin identifies which stream's virtual page a physical page was
+// allocated for — what materializeArch needs to re-synthesize it.
+type pageOrigin struct {
+	core      int32
+	vlineBase uint64
+}
+
+// newShardEngine wires the engine to the simulator's controller. Called
+// from New when cfg.Shards >= 2.
+func newShardEngine(s *Simulator, shards int) *shardEngine {
+	e := &shardEngine{
+		s:        s,
+		shards:   shards,
+		parallel: runtime.GOMAXPROCS(0) > 1,
+		counts:   make([]memctrl.VerifyCounts, shards),
+		collide:  make([][]mem.LineAddr, shards),
+	}
+	e.initer, _ = s.ctrl.(memctrl.ShardIniter)
+	e.nexter, _ = s.ctrl.(interface{ NextEventCycle(int64) int64 })
+	// The deferred-verification sink exists to overlap decode work with the
+	// main loop; with inline fan-out there is nothing to overlap with and
+	// the snapshot copies are pure overhead, so single-CPU hosts keep the
+	// serial inline check (results are byte-identical either way).
+	if p, ok := s.ctrl.(*memctrl.PTMC); ok && e.parallel {
+		e.sink = p.AttachVerifySink()
+	}
+	if e.initer != nil {
+		lazy := true
+		for _, src := range s.streams {
+			if _, ok := src.(fillIniter); !ok {
+				lazy = false // trace replay: versions aren't provably 0
+				break
+			}
+		}
+		if lazy {
+			e.lazyArch = true
+			e.origins = make(map[mem.LineAddr]pageOrigin)
+			s.arch.SetLazyFill(e.archLine)
+		}
+	}
+	s.ctrl.DRAM().SetEngineMode(true)
+	return e
+}
+
+// archLine is the mem.Store lazy-fill callback for the architectural
+// store: it synthesizes one line of a page registered by initPage. Version
+// 0 is provably correct — the store synthesizes a line only when it has
+// been read before being written, and a never-written line has never been
+// mutated.
+func (e *shardEngine) archLine(a mem.LineAddr, buf []byte) {
+	base := a &^ (mem.SlabLines - 1)
+	o := e.origins[base]
+	e.s.streams[o.core].(fillIniter).FillLineInit(o.vlineBase+uint64(a-base), buf)
+}
+
+// startWorkers lazily spawns the shard-1..n-1 worker goroutines (the main
+// goroutine always runs shard 0).
+func (e *shardEngine) startWorkers() {
+	if e.started {
+		return
+	}
+	e.jobs = make([]chan func(int), e.shards-1)
+	for w := 1; w < e.shards; w++ {
+		ch := make(chan func(int), 1)
+		e.jobs[w-1] = ch
+		go func(w int, ch chan func(int)) {
+			for f := range ch {
+				f(w)
+				e.wg.Done()
+			}
+		}(w, ch)
+	}
+	e.started = true
+}
+
+// stop terminates the worker pool; the engine restarts it on demand.
+func (e *shardEngine) stop() {
+	if !e.started {
+		return
+	}
+	for _, ch := range e.jobs {
+		close(ch)
+	}
+	e.jobs = nil
+	e.started = false
+}
+
+// fanout runs f once per shard and returns when all have finished. Inline
+// and sequential without parallelism; otherwise the workers take shards
+// 1..n-1 while the caller's goroutine runs shard 0, and the WaitGroup
+// barrier both joins them and publishes their writes.
+func (e *shardEngine) fanout(f func(shard int)) {
+	if !e.parallel || e.shards < 2 {
+		for sh := 0; sh < e.shards; sh++ {
+			f(sh)
+		}
+		return
+	}
+	e.startWorkers()
+	e.wg.Add(e.shards - 1)
+	for _, ch := range e.jobs {
+		ch <- f
+	}
+	f(0)
+	e.wg.Wait()
+}
+
+// initPage is the engine's first-touch page initialization: line synthesis
+// and image installation fan out across shards by the channel-interleave
+// key (whole 4-line groups, so each shard touches disjoint channel-aligned
+// lines of the freshly created slabs). Lines are synthesized directly into
+// the DRAM image (one write per line instead of synthesize-then-copy); the
+// architectural page is either mirrored from it (eager) or registered for
+// on-demand materialization (lazyArch). Marker collisions — lines the
+// controller cannot initialize without shared state — are collected
+// per-shard and re-run through the serial InitLine path in ascending
+// address order, which is the order the serial loop would have handled them
+// in.
+func (e *shardEngine) initPage(coreID int, pageBase mem.LineAddr, vlineBase uint64) {
+	imgSlab := e.s.img.Slab(pageBase)
+	stream := e.s.streams[coreID]
+	fill := stream.FillLine
+	if f, ok := stream.(fillIniter); ok {
+		fill = f.FillLineInit // skip the version lookup: first touch is version 0
+	}
+	var archSlab mem.Slab
+	if e.lazyArch {
+		e.origins[pageBase] = pageOrigin{core: int32(coreID), vlineBase: vlineBase}
+		e.s.arch.MarkLazy(pageBase)
+	} else {
+		archSlab = e.s.arch.Slab(pageBase)
+	}
+	gmask := uint64(e.shards - 1)
+	groupBase := uint64(pageBase) >> 2
+	e.fanout(func(shard int) {
+		for g := uint64(0); g < vm.PageLines/4; g++ {
+			if (groupBase+g)&gmask != uint64(shard) {
+				continue
+			}
+			for j := uint64(0); j < 4; j++ {
+				i := int(g*4 + j)
+				a := pageBase + mem.LineAddr(i)
+				line := imgSlab.Line(i)
+				fill(vlineBase+uint64(i), line)
+				if !e.initer.InitLineReady(a, line) {
+					// Colliding raw bytes stay in the image briefly; the
+					// serial fixup below rewrites them before any read.
+					e.collide[shard] = append(e.collide[shard], a)
+				}
+				if !e.lazyArch {
+					copy(archSlab.Line(i), line)
+				}
+			}
+		}
+	})
+	n := 0
+	for _, c := range e.collide {
+		n += len(c)
+	}
+	if n == 0 {
+		return
+	}
+	fix := make([]mem.LineAddr, 0, n)
+	for i := range e.collide {
+		fix = append(fix, e.collide[i]...)
+		e.collide[i] = e.collide[i][:0]
+	}
+	sort.Slice(fix, func(i, j int) bool { return fix[i] < fix[j] })
+	for _, a := range fix {
+		e.s.ctrl.InitLine(a)
+	}
+}
+
+// drainVerify runs the deferred fill verification across shards and merges
+// the per-shard counters (commutative sums) into the controller stats.
+func (e *shardEngine) drainVerify() {
+	if e.sink == nil || e.sink.Pending() == 0 {
+		return
+	}
+	e.fanout(func(shard int) {
+		e.counts[shard] = e.sink.DrainShard(shard, e.shards)
+	})
+	st := e.s.ctrl.Stats()
+	for i := range e.counts {
+		st.IntegrityErrs += e.counts[i].IntegrityErrs
+		st.UndecodableUnits += e.counts[i].UndecodableUnits
+	}
+	e.sink.Reset()
+}
+
+// ctrlWake returns the controller's next event cycle, or far future when
+// the controller exposes no schedule (never the case for the built-in
+// schemes, all of which embed memctrl's base).
+func (e *shardEngine) ctrlWake(now int64) int64 {
+	if e.nexter == nil {
+		return now + 1
+	}
+	return e.nexter.NextEventCycle(now)
+}
+
+// runSharded is the epoch-engine counterpart of Simulator.run: identical
+// termination conditions, identical per-cycle work order (cores, then the
+// controller on bus multiples, then metrics snapshots), plus whole-cycle
+// skipping over spans where no core and no controller event can occur.
+// Every skipped bus tick is credited to the DRAM idle accounting exactly as
+// the serial loop would have counted it. The one intentional difference:
+// ctx cancellation is polled every epoch rather than every 4096 cycles, so
+// an abort can only fire earlier — healthy-run results are unaffected.
+func (s *Simulator) runSharded(ctx context.Context, limit, maxCycles int64) error {
+	for i := range s.cores {
+		s.cores[i].ResetWindow(limit)
+	}
+	s.windowStart = s.now
+	deadline := s.now + maxCycles
+	busRatio := int64(s.cfg.DRAM.BusRatio)
+	d := s.ctrl.DRAM()
+	wakes := make([]int64, len(s.cores))
+	for {
+		allDone := true
+		for _, c := range s.cores {
+			if !c.Done() {
+				allDone = false
+			}
+		}
+		if allDone {
+			s.eng.drainVerify()
+			return nil
+		}
+		if s.fatal != nil {
+			return s.fatal
+		}
+		if s.now >= deadline {
+			return fmt.Errorf("sim: exceeded %d cycles without finishing", maxCycles)
+		}
+		if ctx.Err() != nil {
+			return fmt.Errorf("sim: interrupted at cycle %d: %w", s.now, ctx.Err())
+		}
+
+		// Earliest cycle anything can happen: core wakes first (cheap,
+		// usually now+1), then the controller schedule, clamped to the next
+		// metrics boundary and the deadline so neither is skipped over. The
+		// per-core wakes are kept: a core whose wake lies beyond the cycle
+		// about to execute provably no-ops, so its Cycle call is skipped
+		// below (completions can only move a wake at a controller tick,
+		// which runs after the cores within a cycle).
+		wake := int64(cpu.NeverWake)
+		for i, c := range s.cores {
+			w := c.NextWake(s.now)
+			wakes[i] = w
+			if w < wake {
+				wake = w
+			}
+		}
+		if wake > s.now+1 {
+			if w := s.eng.ctrlWake(s.now); w < wake {
+				wake = w
+			}
+		}
+		if s.reg != nil {
+			if nb := (s.now/s.cfg.MetricsInterval + 1) * s.cfg.MetricsInterval; nb < wake {
+				wake = nb
+			}
+		}
+		if wake > deadline {
+			wake = deadline // execute the deadline cycle, then error above
+		}
+		if wake > s.now+1 {
+			// Skip cycles (s.now, wake): no core can act, every bus tick in
+			// the span would only scan sleeping channels. Credit the idle
+			// accounting those ticks would have recorded.
+			d.SkippedTicks((wake-1)/busRatio - s.now/busRatio)
+			s.now = wake - 1
+		}
+		s.now++
+		for i, c := range s.cores {
+			if wakes[i] <= s.now {
+				c.Cycle(s.now)
+			}
+		}
+		if s.now%busRatio == 0 {
+			s.ctrl.Tick(s.now)
+			if s.eng.sink != nil && s.eng.sink.Pending() >= verifyBatchThreshold {
+				s.eng.drainVerify()
+			}
+		}
+		if s.reg != nil && s.now%s.cfg.MetricsInterval == 0 {
+			// Integrity counters feed exported series; drain so snapshots
+			// match the serial loop's incremental accounting.
+			s.eng.drainVerify()
+			s.reg.Snapshot(s.now)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// shardVariants are the shard counts the determinism suite compares: the
+// serial reference loop (0), the smallest engine (2), and the widest
+// configuration the benchmark trajectory ships (8).
+var shardVariants = []int{0, 2, 8}
+
+// TestShardDeterminismResults is the engine's core invariant: the epoch
+// engine is purely a performance knob. For every scheme with an engine-side
+// fast path (and the dynamic policy stack on top), the complete Result —
+// cycles, per-core IPC, every cache/controller/DRAM counter, energy, and
+// the obs metrics time series — must be identical at any shard count to the
+// serial reference loop's.
+func TestShardDeterminismResults(t *testing.T) {
+	for _, scheme := range []string{SchemeDynamicPTMC, SchemePTMC, SchemeUncompressed} {
+		var results []*Result
+		for _, shards := range shardVariants {
+			cfg := Default()
+			cfg.Workload = "lbm06"
+			cfg.Scheme = scheme
+			cfg.WarmupInstr = 20_000
+			cfg.MeasureInstr = 20_000
+			cfg.MetricsInterval = 50_000
+			cfg.Shards = shards
+			r, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("%s shards=%d: %v", scheme, shards, err)
+			}
+			results = append(results, r)
+		}
+		for i := 1; i < len(results); i++ {
+			if !reflect.DeepEqual(results[0], results[i]) {
+				t.Errorf("%s: result diverges at shards=%d vs serial", scheme, shardVariants[i])
+				if results[0].String() != results[i].String() {
+					t.Errorf("  report:\n  %s\n  vs\n  %s", results[0].String(), results[i].String())
+				}
+				if !reflect.DeepEqual(results[0].DRAM, results[i].DRAM) {
+					t.Errorf("  DRAM stats: %+v\n  vs %+v", results[0].DRAM, results[i].DRAM)
+				}
+				if !reflect.DeepEqual(results[0].Mem, results[i].Mem) {
+					t.Errorf("  Mem stats: %+v\n  vs %+v", results[0].Mem, results[i].Mem)
+				}
+				if !reflect.DeepEqual(results[0].Metrics, results[i].Metrics) {
+					t.Errorf("  obs metrics snapshots diverge")
+				}
+			}
+		}
+	}
+}
+
+// TestShardDeterminismMix covers the multiprogrammed case the benchmark
+// trajectory is measured on: a heterogeneous mix keeps every core's stream
+// distinct, so any ordering leak between shards (page-init collisions,
+// verify drains, idle-channel accounting) would surface here.
+func TestShardDeterminismMix(t *testing.T) {
+	var results []*Result
+	for _, shards := range shardVariants {
+		cfg := Default()
+		cfg.Workload = "mix1"
+		cfg.Scheme = SchemeDynamicPTMC
+		cfg.WarmupInstr = 15_000
+		cfg.MeasureInstr = 15_000
+		cfg.Shards = shards
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		results = append(results, r)
+	}
+	for i := 1; i < len(results); i++ {
+		if !reflect.DeepEqual(results[0], results[i]) {
+			t.Errorf("mix1 result diverges at shards=%d vs serial:\n%s\nvs\n%s",
+				shardVariants[i], results[0].String(), results[i].String())
+		}
+	}
+}

@@ -48,6 +48,7 @@ type Simulator struct {
 	ctrl    memctrl.Controller
 	obs     prefetchObserver
 	mshr    map[mem.LineAddr][]waiter
+	eng     *shardEngine // non-nil when cfg.Shards >= 2 (epoch engine)
 
 	now         int64
 	windowStart int64
@@ -231,6 +232,13 @@ func New(cfg Config) (*Simulator, error) {
 	}
 	s.obs, _ = s.ctrl.(prefetchObserver)
 
+	// Epoch engine (Config.Shards >= 2): cycle skipping plus sharded page
+	// init and deferred verification. Shards <= 1 keeps the reference
+	// serial loop untouched.
+	if cfg.Shards >= 2 {
+		s.eng = newShardEngine(s, cfg.Shards)
+	}
+
 	// Observability wiring. The tracer attaches to the controller (every
 	// scheme embeds memctrl's base, which implements SetTracer) and, for
 	// Dynamic-PTMC, to the policy's flip hook; the registry wraps the live
@@ -364,11 +372,15 @@ func (s *Simulator) translate(coreID int, vaddr uint64) (mem.LineAddr, bool) {
 		s.pageInits++
 		pageBase := paddr &^ (vm.PageLines - 1)
 		vlineBase := (vaddr >> 6) &^ (vm.PageLines - 1)
-		buf := make([]byte, mem.LineSize)
-		for i := uint64(0); i < vm.PageLines; i++ {
-			s.streams[coreID].FillLine(vlineBase+i, buf)
-			s.arch.Write(pageBase+mem.LineAddr(i), buf)
-			s.ctrl.InitLine(pageBase + mem.LineAddr(i))
+		if s.eng != nil && s.eng.initer != nil {
+			s.eng.initPage(coreID, pageBase, vlineBase)
+		} else {
+			buf := make([]byte, mem.LineSize)
+			for i := uint64(0); i < vm.PageLines; i++ {
+				s.streams[coreID].FillLine(vlineBase+i, buf)
+				s.arch.Write(pageBase+mem.LineAddr(i), buf)
+				s.ctrl.InitLine(pageBase + mem.LineAddr(i))
+			}
 		}
 	}
 	return paddr, true
@@ -552,13 +564,18 @@ func (s *Simulator) Run() (*Result, error) {
 // ctx's error) at the next 4096-cycle checkpoint after ctx is done.
 func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
 	const cyclesPerInstr = 400 // generous safety budget
+	runFn := s.run
+	if s.eng != nil {
+		runFn = s.runSharded
+		defer s.eng.stop()
+	}
 	if s.cfg.WarmupInstr > 0 {
-		if err := s.run(ctx, s.cfg.WarmupInstr, s.cfg.WarmupInstr*cyclesPerInstr+10_000_000); err != nil {
+		if err := runFn(ctx, s.cfg.WarmupInstr, s.cfg.WarmupInstr*cyclesPerInstr+10_000_000); err != nil {
 			return nil, fmt.Errorf("warmup: %w", err)
 		}
 	}
 	s.resetStats()
-	if err := s.run(ctx, s.cfg.MeasureInstr, s.cfg.MeasureInstr*cyclesPerInstr+10_000_000); err != nil {
+	if err := runFn(ctx, s.cfg.MeasureInstr, s.cfg.MeasureInstr*cyclesPerInstr+10_000_000); err != nil {
 		return nil, err
 	}
 	return s.collect(), nil

@@ -223,3 +223,13 @@ func (s *Stream) MutateLine(vline uint64, buf []byte) {
 	s.versions[vline]++
 	s.FillLine(vline, buf)
 }
+
+// FillLineInit is FillLine specialized to first touch, where the mutation
+// count is provably zero: page initialization runs before any store can
+// reach the page (a store must translate first, and translation is what
+// triggers initialization). Skipping the version-map lookup matters because
+// initialization touches every line of every allocated page exactly once.
+func (s *Stream) FillLineInit(vline uint64, buf []byte) {
+	kind := s.w.Mix.kindFor(vline>>(vm.PageShift-6), s.seed)
+	synthLine(kind, vline, 0, s.seed, buf)
+}

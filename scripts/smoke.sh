@@ -38,3 +38,10 @@ go run ./cmd/ptmcsim -workload lbm06 -scheme dynamic-ptmc \
 go run ./cmd/obscheck -trace "$out.trace" -metrics "$out.metrics"
 rm -f "$out.metrics" "$out.trace"
 echo "smoke: observability artifacts valid"
+
+# Bench stage: the committed benchmark-trajectory artifact must parse and
+# carry every required series (wall/ at >=2 shard counts, speedup/, micro/).
+# This validates schema presence only — a slower number is a conversation,
+# a missing series is a regression.
+go run ./cmd/benchtrend -check BENCH_PR6.json
+echo "smoke: benchmark trajectory artifact valid"
