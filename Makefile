@@ -10,9 +10,10 @@
 #   make bench       compression + artifact micro-benchmarks with allocation
 #                    counts (AppendCompress/DecompressInto must show 0 allocs/op;
 #                    nil-instrumentation obs paths must show 0 allocs/op)
-#   make bench-trend regenerate BENCH_PR6.json: the paperbench workload mix
-#                    end-to-end at shards 1/2/4/8 plus core micro-benchmarks
-#                    (slow: ~12 full simulations)
+#   make bench-trend regenerate BENCH_PR7.json: the paperbench workload mix
+#                    end-to-end for all seven schemes' bench set at shards
+#                    1/2/4/8 plus core micro-benchmarks (slow: ~24 full
+#                    simulations), then validate the whole trajectory
 #   make ci          everything
 
 GO ?= go
@@ -51,7 +52,7 @@ bench:
 	$(GO) test -run xxx -bench 'BenchmarkPTMCReadMiss' -benchmem ./internal/memctrl/
 
 bench-trend:
-	$(GO) run ./cmd/benchtrend -out BENCH_PR6.json
-	$(GO) run ./cmd/benchtrend -check BENCH_PR6.json
+	$(GO) run ./cmd/benchtrend -out BENCH_PR7.json
+	$(GO) run ./cmd/benchtrend -check BENCH_PR6.json,BENCH_PR7.json
 
 ci: check smoke

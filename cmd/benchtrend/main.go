@@ -1,7 +1,7 @@
 // Command benchtrend measures the simulator's performance trajectory and
-// writes it as a stable, append-friendly JSON artifact (BENCH_PR6.json in
-// this PR; later PRs emit BENCH_PR<n>.json with the same schema and compare
-// series across files).
+// writes it as a stable, append-friendly JSON artifact (BENCH_PR<n>.json
+// per PR, all under the same schema; the committed files form the
+// trajectory).
 //
 // The end-to-end measurement is the paperbench workload mix: one 8-core
 // multiprogrammed simulation per scheme, repeated at several -shards values
@@ -13,12 +13,14 @@
 // marker classification, lazy store reads) ride along with ns/op and
 // allocs/op.
 //
-// Validate an existing artifact without running anything:
+// Validate existing artifacts without running anything:
 //
-//	benchtrend -check BENCH_PR6.json
+//	benchtrend -check BENCH_PR6.json,BENCH_PR7.json
 //
-// The check asserts schema and series presence (missing series fail; value
-// regressions do not — trend analysis is a human's job).
+// Each file is checked for schema and series presence (missing series
+// fail; value regressions do not — trend analysis is a human's job), and a
+// multi-file check additionally asserts the files form a coherent
+// trajectory: one schema, strictly increasing PR numbers.
 package main
 
 import (
@@ -90,27 +92,26 @@ type point struct {
 
 func main() {
 	var (
-		out      = flag.String("out", "BENCH_PR6.json", "artifact path to write")
-		check    = flag.String("check", "", "validate this artifact's schema and exit (no runs)")
+		out      = flag.String("out", "BENCH_PR7.json", "artifact path to write")
+		check    = flag.String("check", "", "validate these comma-separated artifacts and exit (no runs)")
 		workload = flag.String("workload", "mix1", "paperbench workload mix to measure end-to-end")
-		schemes  = flag.String("schemes", "uncompressed,ptmc,dynamic-ptmc",
+		schemes  = flag.String("schemes", "uncompressed,table-tmc,memzip,ideal,ptmc,dynamic-ptmc",
 			"comma-separated schemes; the last is the headline-speedup scheme")
 		shards  = flag.String("shards", "1,2,4,8", "comma-separated shard counts")
 		cores   = flag.Int("cores", 8, "cores")
 		warmup  = flag.Int64("warmup", 700_000, "warmup instructions per core")
 		measure = flag.Int64("insts", 2_000_000, "measured instructions per core")
 		seed    = flag.Int64("seed", 1, "run seed")
-		pr      = flag.Int("pr", 6, "PR number recorded in the artifact")
+		pr      = flag.Int("pr", 7, "PR number recorded in the artifact")
 		noMicro = flag.Bool("nomicro", false, "skip the micro-benchmark series")
 	)
 	flag.Parse()
 
 	if *check != "" {
-		if err := checkArtifact(*check); err != nil {
-			fmt.Fprintf(os.Stderr, "benchtrend: %s: %v\n", *check, err)
+		if err := checkTrajectory(strings.Split(*check, ",")); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtrend: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("%s: valid %s artifact\n", *check, Schema)
 		return
 	}
 
@@ -329,49 +330,70 @@ func parseInts(s string) ([]int, error) {
 	return out, nil
 }
 
+// checkTrajectory validates each artifact in order and, across files,
+// asserts they form a coherent trajectory: one schema and strictly
+// increasing PR numbers. A single path degenerates to a plain artifact
+// check.
+func checkTrajectory(paths []string) error {
+	lastPR := 0
+	for _, path := range paths {
+		art, err := checkArtifact(path)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if art.PR <= lastPR {
+			return fmt.Errorf("%s: PR %d does not advance the trajectory (previous artifact is PR %d)",
+				path, art.PR, lastPR)
+		}
+		lastPR = art.PR
+		fmt.Printf("%s: valid %s artifact (PR %d)\n", path, Schema, art.PR)
+	}
+	return nil
+}
+
 // checkArtifact validates schema and series presence. It fails on missing
 // or malformed series — never on the values themselves.
-func checkArtifact(path string) error {
+func checkArtifact(path string) (*artifact, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var art artifact
 	if err := json.Unmarshal(data, &art); err != nil {
-		return fmt.Errorf("parse: %w", err)
+		return nil, fmt.Errorf("parse: %w", err)
 	}
 	if art.Schema != Schema {
-		return fmt.Errorf("schema = %q, want %q", art.Schema, Schema)
+		return nil, fmt.Errorf("schema = %q, want %q", art.Schema, Schema)
 	}
 	if art.Generated == "" {
-		return fmt.Errorf("missing generated timestamp")
+		return nil, fmt.Errorf("missing generated timestamp")
 	}
 	if !art.Identical {
-		return fmt.Errorf("identical_reports is false: shard runs diverged")
+		return nil, fmt.Errorf("identical_reports is false: shard runs diverged")
 	}
 	if len(art.Series) == 0 {
-		return fmt.Errorf("no series")
+		return nil, fmt.Errorf("no series")
 	}
 	var haveWall, haveSpeedup, haveMicro bool
 	for _, s := range art.Series {
 		if s.Name == "" || s.Unit == "" {
-			return fmt.Errorf("series with empty name or unit")
+			return nil, fmt.Errorf("series with empty name or unit")
 		}
 		if len(s.Points) == 0 {
-			return fmt.Errorf("series %q has no points", s.Name)
+			return nil, fmt.Errorf("series %q has no points", s.Name)
 		}
 		for _, p := range s.Points {
 			if p.Label == "" {
-				return fmt.Errorf("series %q has an unlabeled point", s.Name)
+				return nil, fmt.Errorf("series %q has an unlabeled point", s.Name)
 			}
 			if math.IsNaN(p.Value) || math.IsInf(p.Value, 0) || p.Value < 0 {
-				return fmt.Errorf("series %q point %q has value %v", s.Name, p.Label, p.Value)
+				return nil, fmt.Errorf("series %q point %q has value %v", s.Name, p.Label, p.Value)
 			}
 		}
 		switch {
 		case strings.HasPrefix(s.Name, "wall/"):
 			if len(s.Points) < 2 {
-				return fmt.Errorf("series %q needs >= 2 shard points, has %d", s.Name, len(s.Points))
+				return nil, fmt.Errorf("series %q needs >= 2 shard points, has %d", s.Name, len(s.Points))
 			}
 			haveWall = true
 		case strings.HasPrefix(s.Name, "speedup/"):
@@ -381,15 +403,15 @@ func checkArtifact(path string) error {
 		}
 	}
 	if !haveWall {
-		return fmt.Errorf("missing wall/ series")
+		return nil, fmt.Errorf("missing wall/ series")
 	}
 	if !haveSpeedup {
-		return fmt.Errorf("missing speedup/ series")
+		return nil, fmt.Errorf("missing speedup/ series")
 	}
 	if !haveMicro {
-		return fmt.Errorf("missing micro/ series")
+		return nil, fmt.Errorf("missing micro/ series")
 	}
-	return nil
+	return &art, nil
 }
 
 func round(v float64) float64 { return math.Round(v*1000) / 1000 }

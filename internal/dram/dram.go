@@ -167,10 +167,23 @@ type DRAM struct {
 	// currently (or most recently) being processed and tickChanIdx the
 	// channel index the tick loop is at (-1 outside Tick); together they
 	// tell Enqueue whether a new request is still visible to this cycle's
-	// scan or must wake its channel at the next one.
+	// scan or must wake its channel at the next one. nextWake caches the
+	// minimum per-channel wakeAt so NextEventCycle is O(1): Tick recomputes
+	// it after the channel sweep and wakeOnEnqueue lowers it directly — the
+	// only two places channel wakes move.
 	engine      bool
 	lastTick    int64
 	tickChanIdx int
+	nextWake    int64
+
+	// freeReqs pools completed Requests for AcquireRequest. Ownership: a
+	// request Enqueue admits belongs to the model and is released here
+	// right after its completion callback fires (immediately after issue
+	// for writes nobody waits on); a rejected Enqueue leaves ownership with
+	// the caller, whose retry queue holds it until a later Enqueue admits
+	// it. Requests built with &Request{} work identically and simply join
+	// the pool once done.
+	freeReqs []*Request
 }
 
 // farFuture is the wake sentinel for "no internally scheduled event".
@@ -190,7 +203,9 @@ func New(cfg Config) (*DRAM, error) {
 		d.chans = append(d.chans, ch)
 	}
 	d.emptyQChans = cfg.Channels
-	d.lastTick = -1
+	// One bus period before cycle 0: a request enqueued before the first
+	// Tick(0) must bid that tick (lastTick + BusRatio = 0), not a later one.
+	d.lastTick = -int64(cfg.BusRatio)
 	d.tickChanIdx = -1
 	d.chanMask = uint64(cfg.Channels - 1)
 	d.chanBits = log2(uint64(cfg.Channels))
@@ -205,6 +220,26 @@ func New(cfg Config) (*DRAM, error) {
 
 // Config returns the configuration the model was built with.
 func (d *DRAM) Config() Config { return d.cfg }
+
+// AcquireRequest returns a zeroed Request, reusing completed ones. The
+// controller issue paths acquire every request here, which makes their
+// steady state allocate no request headers (the pool is bounded by the
+// maximum number of simultaneously queued + inflight requests).
+func (d *DRAM) AcquireRequest() *Request {
+	if n := len(d.freeReqs); n > 0 {
+		r := d.freeReqs[n-1]
+		d.freeReqs = d.freeReqs[:n-1]
+		*r = Request{}
+		return r
+	}
+	return &Request{}
+}
+
+// release returns a finished request to the pool. Callers must be done
+// with every field; the next AcquireRequest zeroes it.
+func (d *DRAM) release(r *Request) {
+	d.freeReqs = append(d.freeReqs, r)
+}
 
 func log2(v uint64) uint {
 	var n uint
@@ -265,33 +300,39 @@ func (d *DRAM) Enqueue(r *Request, now int64) bool {
 	}
 	d.queuedTotal++
 	if d.engine {
-		d.wakeOnEnqueue(c, ch, now)
+		d.wakeOnEnqueue(c, ch)
 	}
 	return true
 }
 
 // wakeOnEnqueue schedules the channel's next scan after an admit,
-// reproducing the serial loop's visibility rules. A request enqueued before
-// this cycle's tick ran (cores run first within a CPU cycle) is visible to
-// that tick. One enqueued from inside the tick — a completion callback
-// issuing an eviction or retry — is visible to channels the in-order tick
-// loop has not reached yet (ch > tickChanIdx) but only next bus cycle for
-// channels at or before the loop cursor, exactly as the serial scan order
-// dictates.
-func (d *DRAM) wakeOnEnqueue(c *channel, ch int, now int64) {
+// reproducing the serial loop's visibility rules. Visibility is a property
+// of the *program point* of the Enqueue call, never of the request's cycle
+// stamp: the miss path stamps requests with future completion-latency
+// cycles (now > the cycle actually executing), yet the serial loop's
+// per-tick scan sees every queued request immediately. So: a request
+// enqueued from inside the tick sweep — a completion callback issuing an
+// eviction or retry — is visible to channels the in-order loop has not
+// reached yet (ch > tickChanIdx) this very tick, and to earlier channels
+// at the next one; a request enqueued between ticks (core-driven) is
+// visible to the next executed tick, which is never later than lastTick +
+// BusRatio. A bid that lands in the engine's past is harmless — the run
+// loop degrades to serial per-cycle stepping until the wake is consumed —
+// while a bid later than the serial scan would allow is a determinism bug
+// (the channel sleeps through an issue the serial loop performs).
+func (d *DRAM) wakeOnEnqueue(c *channel, ch int) {
 	r := int64(d.cfg.BusRatio)
 	var nt int64
-	if now == d.lastTick {
-		if ch > d.tickChanIdx && d.tickChanIdx >= 0 {
-			nt = now // tick loop reaches this channel later this cycle
-		} else {
-			nt = now + r
-		}
+	if d.tickChanIdx >= 0 && ch > d.tickChanIdx {
+		nt = d.lastTick // tick loop reaches this channel later this cycle
 	} else {
-		nt = (now + r - 1) / r * r // next bus-cycle boundary
+		nt = d.lastTick + r
 	}
 	if nt < c.wakeAt {
 		c.wakeAt = nt
+	}
+	if c.wakeAt < d.nextWake {
+		d.nextWake = c.wakeAt
 	}
 }
 
@@ -341,6 +382,15 @@ func (d *DRAM) Tick(now int64) {
 			d.reschedule(c, q, issued, now)
 		}
 		d.tickChanIdx = -1
+		// Re-aggregate the cached minimum wake: the sweep (and any enqueue
+		// bids its callbacks made) is the only place wakes can have risen.
+		w := farFuture
+		for _, c := range d.chans {
+			if c.wakeAt < w {
+				w = c.wakeAt
+			}
+		}
+		d.nextWake = w
 		return
 	}
 	for _, c := range d.chans {
@@ -367,6 +417,7 @@ func (d *DRAM) tickChannel(c *channel, now int64) (q *[]*Request, issued bool) {
 				if r.OnComplete != nil {
 					r.OnComplete(now)
 				}
+				d.release(r)
 			} else {
 				kept = append(kept, r)
 			}
@@ -472,8 +523,13 @@ func (d *DRAM) busTickAtOrAfter(t int64) int64 {
 
 // NextEventCycle returns the earliest CPU cycle at which ticking the model
 // can change any state — the minimum channel wake — or farFuture when every
-// channel is fully idle. Meaningful in engine mode only.
+// channel is fully idle. Meaningful in engine mode only, where it is the
+// cached aggregate (O(1), recomputed per tick sweep); outside engine mode
+// it scans, since the wake bookkeeping is not maintained there.
 func (d *DRAM) NextEventCycle() int64 {
+	if d.engine {
+		return d.nextWake
+	}
 	w := farFuture
 	for _, c := range d.chans {
 		if c.wakeAt < w {
@@ -550,6 +606,8 @@ func (d *DRAM) issue(c *channel, r *Request, isWrite bool, now int64) {
 			r.completeAt = dataEnd
 			c.inflight = append(c.inflight, r)
 			d.inflightTotal++
+		} else {
+			d.release(r) // fire-and-forget write: nobody waits, nobody holds it
 		}
 		return
 	}

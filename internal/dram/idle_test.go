@@ -105,3 +105,52 @@ func TestIdleAccountingSerialVsEngine(t *testing.T) {
 		t.Error("schedule produced no idle accounting at all")
 	}
 }
+
+// TestFutureStampedEnqueueVisibleNextTick is the regression test for a
+// wake-scheduling bug the full-scale benchmark runs exposed: the miss path
+// stamps requests with future completion-latency cycles, and wakeOnEnqueue
+// used to compute the channel's wake from that stamp — so a sleeping
+// channel slept through bus ticks where the serial loop's per-tick scan
+// (which never looks at stamps) would already have issued the request.
+// Visibility is a property of the Enqueue call's program point: a request
+// enqueued between ticks must wake its channel no later than the next
+// executed tick, whatever cycle stamp it carries.
+func TestFutureStampedEnqueueVisibleNextTick(t *testing.T) {
+	d, err := New(DDR4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetEngineMode(true)
+	r := int64(d.Config().BusRatio)
+
+	// Put the channel to sleep: issue one read and run ticks until it
+	// completes and the channel has nothing left to do.
+	var done int64
+	req := &Request{Addr: 0, OnComplete: func(c int64) { done = c }}
+	if !d.Enqueue(req, 0) {
+		t.Fatal("enqueue rejected")
+	}
+	now := int64(0)
+	for ; done == 0 && now < 10_000; now += r {
+		d.Tick(now)
+	}
+	if done == 0 {
+		t.Fatal("read never completed")
+	}
+	if w := d.NextEventCycle(); w <= now {
+		t.Fatalf("channel still has work scheduled at %d; test needs it asleep", w)
+	}
+
+	// A core-driven enqueue at the current cycle carrying a far-future
+	// latency stamp: the serial loop would scan it at the next executed
+	// tick, so the engine's wake must be no later than that.
+	stamp := now + 40*r // e.g. now + L3 latency and then some
+	req2 := &Request{Addr: 64, OnComplete: func(int64) {}}
+	if !d.Enqueue(req2, stamp) {
+		t.Fatal("enqueue rejected")
+	}
+	if w, next := d.NextEventCycle(), now+r; w > next {
+		t.Errorf("future-stamped enqueue woke the channel at %d, want <= %d (next tick); "+
+			"the stamp (%d) must not delay visibility", w, next, stamp)
+	}
+}

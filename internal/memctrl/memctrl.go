@@ -133,15 +133,33 @@ type Controller interface {
 // for parallel first-touch page initialization. The engine synthesizes a
 // line's architectural value directly into its DRAM-image storage (obtained
 // via mem.Slab) and then asks InitLineReady whether those bytes are a valid
-// initial image as-is, touching no shared controller state — the check must
-// be read-only. It returns false when the line needs the full serial
-// InitLine path (e.g. a PTMC marker collision requiring LIT maintenance);
-// the caller must then re-run those lines serially, in ascending address
-// order, after the parallel pass. Controllers without the method (TableTMC,
-// MemZip — their init paths mutate metadata tables) always initialize
-// serially.
+// initial image as-is. The call runs concurrently across shards, so it must
+// touch no shared mutable controller state — read-only, or writes confined
+// to per-shard/per-line slots arranged through ShardPageIniter. It returns
+// false when the line needs the full serial InitLine path (e.g. a PTMC
+// marker collision requiring LIT maintenance); the caller must then re-run
+// those lines serially, in ascending address order, after the parallel
+// pass. Every built-in scheme implements it: uncompressed and the PTMC
+// family since the engine landed, table-tmc (raw in-place image, cold CSI
+// already correct) and memzip (burst lengths recorded via ShardPageIniter
+// slots) since the engine was widened to the comparator schemes.
 type ShardIniter interface {
 	InitLineReady(a mem.LineAddr, data []byte) bool
+}
+
+// ShardPageIniter extends ShardIniter for controllers whose first-touch
+// initialization must record derived per-line state (e.g. MemZip's stored
+// burst lengths). The engine calls SetupShardInit once per run, before any
+// fan-out, with the shard count — the controller sizes per-shard scratch
+// here — and BeginPageInit serially before each page's fan-out, the one
+// place map-backed storage may grow. InitLineReady may then write the
+// line's own pre-created slot without locks: the fan-out partitions lines
+// by mem.ShardOf, so per-shard scratch indexed by ShardOf(a, shards) is
+// never shared either.
+type ShardPageIniter interface {
+	ShardIniter
+	SetupShardInit(shards int)
+	BeginPageInit(pageBase mem.LineAddr)
 }
 
 // kind tags a DRAM request for stats accounting.
@@ -206,10 +224,10 @@ func (b *base) SetDecompressCycles(n int64) { b.decompLat = n }
 
 // SetTracer attaches (or, with nil, detaches) an event tracer.
 func (b *base) SetTracer(t *obs.Tracer) { b.tr = t }
-func (b *base) Stats() *Stats               { return &b.st }
-func (b *base) DRAM() *dram.DRAM            { return b.d }
-func (b *base) Pending() int                { return b.outstanding + len(b.retry) + b.d.QueueDepth() }
-func (b *base) account(k kind)              { b.accountN(k, 1) }
+func (b *base) Stats() *Stats           { return &b.st }
+func (b *base) DRAM() *dram.DRAM        { return b.d }
+func (b *base) Pending() int            { return b.outstanding + len(b.retry) + b.d.QueueDepth() }
+func (b *base) account(k kind)          { b.accountN(k, 1) }
 func (b *base) accountN(k kind, n uint64) {
 	switch k {
 	case kDemandRead:
@@ -254,7 +272,8 @@ func (b *base) issue(a mem.LineAddr, write bool, k kind, now int64, done Done) (
 		}
 		b.tr.Emit(ek, now, 0, 0, uint64(a), int64(k))
 	}
-	req := &dram.Request{Addr: a, Write: write}
+	req := b.d.AcquireRequest()
+	req.Addr, req.Write = a, write
 	if done != nil || !write {
 		b.outstanding++
 		req.OnComplete = func(c int64) {
@@ -282,14 +301,32 @@ func (b *base) issue(a mem.LineAddr, write bool, k kind, now int64, done Done) (
 
 // NextEventCycle returns the earliest CPU cycle at which ticking the
 // controller can change state, for the epoch engine's cycle skipping: the
-// next bus cycle while a retry backlog exists (each tick drains it), else
-// whatever the DRAM model reports.
+// DRAM model's aggregated per-channel wake. A retry backlog adds no
+// earlier event, so it no longer forces the bus-ratio quantum it once did:
+// a rejected request only re-admits after its full target queue loses an
+// entry, which happens exclusively at an issue inside a scheduled DRAM
+// wake — and an issue always reschedules that channel for the very next
+// bus cycle, where the tick's drain (which runs before d.Tick) admits the
+// request at exactly the cycle the serial per-tick drain would have.
 func (b *base) NextEventCycle(now int64) int64 {
-	if len(b.retry) > 0 {
-		r := int64(b.d.Config().BusRatio)
-		return (now/r + 1) * r
-	}
 	return b.d.NextEventCycle()
+}
+
+// SkippedTicks credits the controller's per-tick bookkeeping for n bus
+// cycles the epoch engine proved eventless and skipped: the DRAM idle
+// accounting, plus — while a retry backlog exists — the one failed
+// re-enqueue attempt per tick the serial loop's drain would have counted.
+// Those attempts provably fail (no channel issues inside a skipped span,
+// so the full target queue stays full), which is why skipping them is
+// sound; crediting RetriesFull keeps the stats byte-identical anyway.
+func (b *base) SkippedTicks(n int64) {
+	if n <= 0 {
+		return
+	}
+	if len(b.retry) > 0 {
+		b.d.Stats.RetriesFull += uint64(n)
+	}
+	b.d.SkippedTicks(n)
 }
 
 // Tick drains the retry queue and advances DRAM.

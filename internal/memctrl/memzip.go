@@ -22,9 +22,17 @@ import (
 type MemZip struct {
 	base
 	meta *metadata.Table
-	// beats caches each line's stored burst length (the functional truth
-	// of the metadata table's contents).
-	beats map[mem.LineAddr]int
+	// beats is the functional truth of the metadata table's contents: each
+	// line's stored burst length, 1-8. The value does not fit the table's
+	// 2-bit CSI encoding, so it lives here and metadata-cache traffic is
+	// charged through meta.Touch. Array-backed pages keep the eviction hot
+	// path allocation-free and let the epoch engine's first-touch fan-out
+	// record disjoint lines without locks (see beatStore).
+	beats beatStore
+	// initScr is per-shard compression scratch for the engine's parallel
+	// first-touch init; indexed by mem.ShardOf, the same key the fan-out
+	// partitions lines by, so no two shards share a buffer.
+	initScr [][]byte
 }
 
 // NewMemZip builds the comparator; metaBase/mcacheBytes configure the
@@ -38,20 +46,21 @@ func NewMemZip(d *dram.DRAM, img, arch *mem.Store, llc LLC,
 	return &MemZip{
 		base:  newBase("memzip", d, img, arch, llc),
 		meta:  mt,
-		beats: make(map[mem.LineAddr]int),
+		beats: newBeatStore(),
 	}, nil
 }
 
 // Meta exposes the metadata table (hit-rate reporting).
 func (z *MemZip) Meta() *metadata.Table { return z.meta }
 
-// lineBeats compresses a line's current value into its burst length. The
-// encoding lands in the scratch arena (only its length matters here), so
-// the per-writeback compression allocates nothing.
-func (z *MemZip) lineBeats(a mem.LineAddr) int {
-	enc := z.alg.AppendCompress(z.scr.groupBuf[:0], z.arch.Read(a))
-	z.scr.groupBuf = enc[:0]
-	beats := (len(enc) + 7) / 8
+// StoredBeats returns the burst length currently recorded for a line
+// (verification and tests; 8 for lines never stored).
+func (z *MemZip) StoredBeats(a mem.LineAddr) int { return z.beats.get(a) }
+
+// beatsOfLen converts a compressed encoding's byte length to a burst
+// length in 8-byte bus beats, clamped to [1, 8].
+func beatsOfLen(encLen int) int {
+	beats := (encLen + 7) / 8
 	if beats > 8 {
 		beats = 8
 	}
@@ -61,12 +70,49 @@ func (z *MemZip) lineBeats(a mem.LineAddr) int {
 	return beats
 }
 
+// lineBeats compresses a line's current value into its burst length. The
+// encoding lands in the scratch arena (only its length matters here), so
+// the per-writeback compression allocates nothing.
+func (z *MemZip) lineBeats(a mem.LineAddr) int {
+	enc := z.alg.AppendCompress(z.scr.groupBuf[:0], z.arch.Read(a))
+	z.scr.groupBuf = enc[:0]
+	return beatsOfLen(len(enc))
+}
+
 // InitLine implements Controller: first-touch lines enter memory in
 // compressed form (MemZip compresses in place; there is no relocation, so
 // no prefetch-pollution concern).
 func (z *MemZip) InitLine(a mem.LineAddr) {
 	z.img.Write(a, z.arch.Read(a))
-	z.beats[a] = z.lineBeats(a)
+	z.beats.set(a, z.lineBeats(a))
+}
+
+// SetupShardInit implements ShardPageIniter: size the per-shard
+// compression scratch the concurrent InitLineReady calls encode into.
+func (z *MemZip) SetupShardInit(shards int) {
+	z.initScr = make([][]byte, shards)
+}
+
+// BeginPageInit implements ShardPageIniter: pre-create the page's beat
+// slots on the coordinating goroutine, so the fan-out's set calls only
+// write disjoint bytes of an existing array.
+func (z *MemZip) BeginPageInit(pageBase mem.LineAddr) {
+	z.beats.page(pageBase)
+}
+
+// InitLineReady implements ShardIniter. A first-touch MemZip line is
+// stored compressed in place, but the bytes at its location are the raw
+// value either way — the reduced burst is a bus-protocol effect, not a
+// layout change — so the image the engine synthesized is already correct;
+// all that must be recorded is the line's burst length. That write is
+// race-free under the fan-out: the slot is this line's own byte of a page
+// BeginPageInit created, and the compression scratch is per-shard.
+func (z *MemZip) InitLineReady(a mem.LineAddr, data []byte) bool {
+	sh := mem.ShardOf(a, len(z.initScr))
+	enc := z.alg.AppendCompress(z.initScr[sh][:0], data)
+	z.initScr[sh] = enc[:0]
+	z.beats.set(a, beatsOfLen(len(enc)))
+	return true
 }
 
 // issueBeats sends a reduced-burst DRAM request.
@@ -74,7 +120,8 @@ func (z *MemZip) issueBeats(a mem.LineAddr, write bool, beats int, k kind, now i
 	// Reuse base.issue's coalescing/retry plumbing by constructing the
 	// request here; accounting matches full bursts (each is one request).
 	z.account(k)
-	req := &dram.Request{Addr: a, Write: write, Beats: beats}
+	req := z.d.AcquireRequest()
+	req.Addr, req.Write, req.Beats = a, write, beats
 	if done != nil || !write {
 		z.outstanding++
 		req.OnComplete = func(c int64) {
@@ -92,12 +139,9 @@ func (z *MemZip) issueBeats(a mem.LineAddr, write bool, beats int, k kind, now i
 // Read implements Controller: metadata lookup (burst length) first, then a
 // reduced burst for the data.
 func (z *MemZip) Read(core_ int, a mem.LineAddr, now int64, done Done) {
-	_, tr := z.meta.Lookup(a)
+	tr := z.meta.Touch(a, false)
 	proceed := func(c int64) {
-		beats, ok := z.beats[a]
-		if !ok {
-			beats = 8
-		}
+		beats := z.beats.get(a)
 		z.issueBeats(a, false, beats, kDemandRead, c, func(c2 int64) {
 			if beats < 8 {
 				c2 += z.decompLat
@@ -120,19 +164,23 @@ func (z *MemZip) Read(core_ int, a mem.LineAddr, now int64, done Done) {
 	proceed(now)
 }
 
-// Evict implements Controller: dirty lines re-compress in place; the burst
-// length changes cost a metadata update.
+// Evict implements Controller: dirty lines re-compress in place; a burst
+// length change costs a metadata update. The full 1-8 beat value goes to
+// the beat store; the metadata cache is touched dirty for the CSI-line
+// traffic. (An earlier version squeezed the length through the table's
+// 2-bit level encoding as newBeats&3, aliasing beats {4,8}→0 and {5,1}→1
+// in the stored state; the dedicated store keeps every transition exact.)
 func (z *MemZip) Evict(core_ int, e cache.Entry, now int64) {
 	if !e.Dirty {
 		return
 	}
 	z.img.Write(e.Tag, z.arch.Read(e.Tag))
 	newBeats := z.lineBeats(e.Tag)
-	old := z.beats[e.Tag]
-	z.beats[e.Tag] = newBeats
+	old := z.beats.get(e.Tag)
+	z.beats.set(e.Tag, newBeats)
 	z.issueBeats(e.Tag, true, newBeats, kDirtyWrite, now, nil)
 	if newBeats != old {
-		tr := z.meta.Update(e.Tag, cache.Level(newBeats&3))
+		tr := z.meta.Touch(e.Tag, true)
 		if tr.NeedWrite {
 			z.issue(tr.WriteAddr, true, kMetadataWrite, now, nil)
 		}

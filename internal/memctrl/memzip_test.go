@@ -3,6 +3,7 @@ package memctrl
 import (
 	"testing"
 
+	"ptmc/internal/cache"
 	"ptmc/internal/dram"
 	"ptmc/internal/mem"
 )
@@ -57,6 +58,98 @@ func TestMemZipPaysMetadata(t *testing.T) {
 	r.read(0, 4097) // same metadata line: cached
 	if r.ctrl.Stats().MetadataReads != 1 {
 		t.Errorf("warm metadata reads = %d, want 1", r.ctrl.Stats().MetadataReads)
+	}
+}
+
+// TestMemZipBeatChangeChargesMetadata is the regression test for the
+// burst-length aliasing bug: the stored value used to be squeezed through
+// the metadata table's 2-bit level encoding as newBeats&3, collapsing
+// beats {4,8}→0 and {5,1}→1. The dedicated beat store must round-trip the
+// full 1-8 range, and a 4→8-beat transition — invisible modulo 4 — must
+// still charge a metadata-cache access on eviction while an unchanged
+// burst length charges none.
+func TestMemZipBeatChangeChargesMetadata(t *testing.T) {
+	r := newMemZipRig(t)
+	z := r.ctrl.(*MemZip)
+	a := mem.LineAddr(100)
+
+	r.write(0, a, pairOnlyLine(1)) // ~25-byte encoding: a mid-range burst
+	r.evict(a)
+	if got := z.StoredBeats(a); got != 4 {
+		t.Fatalf("mid-range line stored %d beats, want 4 (pick a value that encodes to 25-32 bytes)", got)
+	}
+
+	r.write(0, a, incompressibleLine(9)) // full-burst value
+	lk := z.Meta().Lookups
+	r.evict(a)
+	if got := z.StoredBeats(a); got != 8 {
+		t.Fatalf("incompressible line stored %d beats, want 8", got)
+	}
+	if z.Meta().Lookups != lk+1 {
+		t.Errorf("4→8-beat eviction made %d metadata accesses, want 1 (aliasing bug: 4 and 8 both truncate to 0)",
+			z.Meta().Lookups-lk)
+	}
+
+	r.write(0, a, incompressibleLine(10)) // different value, same 8-beat burst
+	lk = z.Meta().Lookups
+	r.evict(a)
+	if z.Meta().Lookups != lk {
+		t.Errorf("unchanged-burst eviction made %d metadata accesses, want 0", z.Meta().Lookups-lk)
+	}
+	if r.ctrl.Stats().IntegrityErrs != 0 {
+		t.Error("integrity errors")
+	}
+}
+
+// TestMemZipStoredBeatsFullRange drives one line through every reachable
+// burst length and asserts the store reports exactly what the compressor
+// produced — no 2-bit truncation anywhere in the pipeline.
+func TestMemZipStoredBeatsFullRange(t *testing.T) {
+	r := newMemZipRig(t)
+	z := r.ctrl.(*MemZip)
+	a := mem.LineAddr(200)
+	seen := map[int]bool{}
+	vals := [][]byte{
+		compressibleLine(1), // tiny encoding
+		pairOnlyLine(2),     // mid-range
+		incompressibleLine(3),
+	}
+	for i, val := range vals {
+		r.write(0, a, val)
+		r.evict(a)
+		got := z.StoredBeats(a)
+		if got < 1 || got > 8 {
+			t.Fatalf("value %d stored %d beats, outside [1,8]", i, got)
+		}
+		seen[got] = true
+		wantLine(t, r.read(0, a), val, "readback after beat change")
+	}
+	if len(seen) < 3 {
+		t.Fatalf("test values collapsed onto %d distinct burst lengths, want 3: %v", len(seen), seen)
+	}
+}
+
+// TestMemZipEvictZeroAlloc pins the eviction hot path at zero heap
+// allocations per dirty writeback in steady state (unchanged burst
+// length): the beat store is an array write behind one map read, the
+// compression scratch is the warm arena, and the DRAM request comes from
+// the model's pool. The beats map this store replaced allocated on every
+// insert.
+func TestMemZipEvictZeroAlloc(t *testing.T) {
+	r := newMemZipRig(t)
+	z := r.ctrl.(*MemZip)
+	a := mem.LineAddr(300)
+	r.write(0, a, incompressibleLine(7))
+	r.evict(a)
+	ev := func() {
+		z.Evict(0, cache.Entry{Tag: a, Dirty: true, Valid: true}, r.now)
+		r.drain()
+	}
+	for i := 0; i < 8; i++ {
+		ev() // warm: request pool, write-queue capacity, scratch arena
+	}
+	if n := testing.AllocsPerRun(100, ev); n != 0 {
+		t.Errorf("memzip steady-state eviction allocates %.1f/op, want 0", n)
 	}
 }
 

@@ -42,6 +42,13 @@ func (t *TableTMC) InitLine(a mem.LineAddr) {
 	t.img.Write(a, t.arch.Read(a))
 }
 
+// InitLineReady implements ShardIniter: a first-touch table-TMC line lives
+// uncompressed at its own address and the cold CSI table already reads as
+// Uncompressed, so the raw bytes the engine synthesized in place are a
+// complete initial image — InitLine's only work is the image write the
+// engine has already performed, and no metadata state moves. Always true.
+func (t *TableTMC) InitLineReady(a mem.LineAddr, data []byte) bool { return true }
+
 // chargeMeta issues the DRAM traffic of one metadata-cache transaction and
 // calls then once the required metadata (if any) has arrived.
 func (t *TableTMC) chargeMeta(tr metadata.Traffic, now int64, then Done) {
@@ -81,8 +88,15 @@ func (t *TableTMC) fill(core_ int, a, home mem.LineAddr, level cache.Level, now 
 	}
 	lines, err := t.decodeGroup(t.img.Read(home), n)
 	if err != nil {
-		t.st.IntegrityErrs++
-		t.install(core_, a, false, false, level, now)
+		// Undecodable unit: a detected fault, not silent corruption. Count
+		// the degradation and serve the architectural value as an
+		// uncompressed fill — the PTMC taxonomy — so demand fills still sum
+		// across the compressed/uncompressed categories under injection and
+		// IntegrityErrs stays reserved for wrong *decoded* values.
+		t.st.UndecodableUnits++
+		t.st.FillsUncompressed++
+		t.checkIntegrity(a, t.arch.Read(a))
+		t.install(core_, a, false, false, cache.Uncompressed, now)
 		done(now)
 		return
 	}

@@ -4,7 +4,10 @@ import (
 	"errors"
 	"testing"
 
+	"ptmc/internal/cache"
 	"ptmc/internal/core"
+	"ptmc/internal/dram"
+	"ptmc/internal/mem"
 )
 
 // TestVerifyImageViolationTaxonomy plants one specific corruption per
@@ -135,6 +138,74 @@ func TestVerifyImageViolationTaxonomy(t *testing.T) {
 				t.Errorf("Scrub did not repair %s: %v", tc.name, err)
 			}
 		})
+	}
+}
+
+// TestTableTMCUndecodableFillTaxonomy plants an undecodable compressed
+// unit in a table-TMC image and reads through it. The decode failure is a
+// detected fault the controller survives, so it must follow the PTMC
+// degradation taxonomy: count UndecodableUnits (not IntegrityErrs, which
+// is reserved for wrong decoded values) and serve the architectural value
+// as an uncompressed fill, keeping demand fills summable across the
+// compressed/uncompressed categories. An earlier version bumped
+// IntegrityErrs and installed at the compressed level without counting the
+// fill anywhere.
+func TestTableTMCUndecodableFillTaxonomy(t *testing.T) {
+	r := newRig(t, 64*64, func(d *dram.DRAM, img, arch *mem.Store, llc LLC) Controller {
+		c, err := NewTableTMC(d, img, arch, llc, 1<<30, 32<<10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	})
+	tt := r.ctrl.(*TableTMC)
+
+	// Realize a 2:1 pair at 300 so the CSI names a compressed home.
+	r.write(0, 300, compressibleLine(1))
+	r.write(0, 301, compressibleLine(2))
+	r.evict(300)
+	if tt.Meta().Peek(301) != cache.Comp2 {
+		t.Fatal("rig did not realize a 2:1 pair")
+	}
+	for _, a := range []mem.LineAddr{300, 301} {
+		if _, in := r.llc.Probe(a); in {
+			r.llc.Drop(a)
+		}
+	}
+
+	// Corrupt the unit's payload so it cannot decode.
+	garbage := make([]byte, mem.LineSize)
+	for i := range garbage {
+		garbage[i] = 0xFF
+	}
+	r.img.Write(300, garbage)
+
+	st := r.ctrl.Stats()
+	fillsBefore := st.FillsCompressed + st.FillsUncompressed
+	uncompBefore := st.FillsUncompressed
+	got := r.read(0, 301)
+	wantLine(t, got, compressibleLine(2), "architectural fallback value")
+
+	if st.UndecodableUnits != 1 {
+		t.Errorf("UndecodableUnits = %d, want 1", st.UndecodableUnits)
+	}
+	if st.IntegrityErrs != 0 {
+		t.Errorf("IntegrityErrs = %d, want 0 (a detected decode failure is a degradation, not silent corruption)",
+			st.IntegrityErrs)
+	}
+	if st.FillsUncompressed != uncompBefore+1 {
+		t.Errorf("FillsUncompressed = %d, want %d: the fallback fill must be counted", st.FillsUncompressed, uncompBefore+1)
+	}
+	if sum := st.FillsCompressed + st.FillsUncompressed; sum != fillsBefore+1 {
+		t.Errorf("fills no longer sum across categories: %d before, %d after one demand fill", fillsBefore, sum)
+	}
+	if e, in := r.llc.Probe(301); !in {
+		t.Error("fallback fill not installed")
+	} else if e.Level != cache.Uncompressed {
+		t.Errorf("fallback installed at level %v, want Uncompressed", e.Level)
+	}
+	if st.Degradations() != 1 {
+		t.Errorf("Degradations() = %d, want 1", st.Degradations())
 	}
 }
 

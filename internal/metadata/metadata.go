@@ -78,6 +78,16 @@ func (t *Table) touch(addr mem.LineAddr, dirty bool) Traffic {
 	return tr
 }
 
+// Touch models one metadata-cache access to addr's CSI line without
+// reading or changing a stored level, returning the DRAM traffic it costs;
+// dirty marks the cached metadata line modified. Schemes whose per-line
+// metadata payload does not fit the 2-bit CSI encoding (MemZip's 1-8 beat
+// burst lengths) use it to charge table traffic while keeping the actual
+// value in a dedicated store.
+func (t *Table) Touch(addr mem.LineAddr, dirty bool) Traffic {
+	return t.touch(addr, dirty)
+}
+
 // Lookup returns addr's current compression level and the DRAM traffic the
 // metadata access costs.
 func (t *Table) Lookup(addr mem.LineAddr) (cache.Level, Traffic) {

@@ -57,13 +57,14 @@ type Config struct {
 	PerCoreDyn   bool
 	LITMode      core.LITMode
 
-	// Shards selects the epoch execution engine for this simulation's hot
-	// path: 0 or 1 runs the reference serial cycle loop; a power of two >= 2
-	// runs the epoch engine, which skips provably eventless cycles and
-	// spreads page initialization and deferred fill verification across that
-	// many shard workers (real goroutines only when GOMAXPROCS > 1; inline
-	// otherwise). Results are byte-identical at every value — a tested
-	// invariant — so Shards is purely a performance knob.
+	// Shards selects the execution engine for one simulation's hot loop.
+	// 0 or 1 runs the reference serial cycle loop; a power of two >= 2 runs
+	// the epoch engine, which skips provably eventless cycles and spreads
+	// page initialization and deferred fill verification across that many
+	// shard workers (real goroutines only when GOMAXPROCS > 1; inline
+	// otherwise). Every scheme takes the engine fast paths. Results are
+	// byte-identical at every value — a tested invariant — so Shards is
+	// purely a performance knob.
 	Shards int
 
 	// Horizon (per core, instructions).

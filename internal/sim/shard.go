@@ -36,11 +36,13 @@ type shardEngine struct {
 	s      *Simulator
 	shards int
 
-	// initer/sink/nexter are the controller's optional fast-path hooks;
-	// each degrades independently to the serial behavior when absent.
-	initer memctrl.ShardIniter
-	sink   *memctrl.VerifySink
-	nexter interface{ NextEventCycle(int64) int64 }
+	// initer/pageIniter/sink/nexter are the controller's optional fast-path
+	// hooks; each degrades independently to the serial behavior when absent.
+	initer     memctrl.ShardIniter
+	pageIniter memctrl.ShardPageIniter
+	sink       *memctrl.VerifySink
+	nexter     interface{ NextEventCycle(int64) int64 }
+	skipper    interface{ SkippedTicks(n int64) }
 
 	parallel bool // real worker goroutines (GOMAXPROCS > 1)
 	started  bool
@@ -65,7 +67,9 @@ type shardEngine struct {
 
 // fillIniter is the first-touch specialization of workload.Source.FillLine
 // (mutation count provably zero, version-map lookup skipped).
-type fillIniter interface{ FillLineInit(vline uint64, buf []byte) }
+type fillIniter interface {
+	FillLineInit(vline uint64, buf []byte)
+}
 
 // pageOrigin identifies which stream's virtual page a physical page was
 // allocated for — what materializeArch needs to re-synthesize it.
@@ -85,7 +89,12 @@ func newShardEngine(s *Simulator, shards int) *shardEngine {
 		collide:  make([][]mem.LineAddr, shards),
 	}
 	e.initer, _ = s.ctrl.(memctrl.ShardIniter)
+	if pi, ok := s.ctrl.(memctrl.ShardPageIniter); ok {
+		pi.SetupShardInit(shards)
+		e.pageIniter = pi
+	}
 	e.nexter, _ = s.ctrl.(interface{ NextEventCycle(int64) int64 })
+	e.skipper, _ = s.ctrl.(interface{ SkippedTicks(n int64) })
 	// The deferred-verification sink exists to overlap decode work with the
 	// main loop; with inline fan-out there is nothing to overlap with and
 	// the snapshot copies are pure overhead, so single-CPU hosts keep the
@@ -199,6 +208,11 @@ func (e *shardEngine) initPage(coreID int, pageBase mem.LineAddr, vlineBase uint
 	} else {
 		archSlab = e.s.arch.Slab(pageBase)
 	}
+	if e.pageIniter != nil {
+		// Serial pre-pass: let the controller grow any map-backed per-line
+		// state for this page before the workers write its slots.
+		e.pageIniter.BeginPageInit(pageBase)
+	}
 	gmask := uint64(e.shards - 1)
 	groupBase := uint64(pageBase) >> 2
 	e.fanout(func(shard int) {
@@ -257,12 +271,16 @@ func (e *shardEngine) drainVerify() {
 	e.sink.Reset()
 }
 
-// ctrlWake returns the controller's next event cycle, or far future when
-// the controller exposes no schedule (never the case for the built-in
-// schemes, all of which embed memctrl's base).
+// ctrlWake returns the controller's next event cycle. A controller that
+// exposes no schedule (never the case for the built-in schemes, all of
+// which embed memctrl's base) degrades to the next bus-tick multiple — the
+// earliest cycle a controller tick can run at all — so an unknown scheme
+// is ticked conservatively every bus cycle without also pinning the core
+// skip logic to now+1, which would defeat cycle skipping entirely.
 func (e *shardEngine) ctrlWake(now int64) int64 {
 	if e.nexter == nil {
-		return now + 1
+		r := int64(e.s.cfg.DRAM.BusRatio)
+		return (now/r + 1) * r
 	}
 	return e.nexter.NextEventCycle(now)
 }
@@ -335,9 +353,17 @@ func (s *Simulator) runSharded(ctx context.Context, limit, maxCycles int64) erro
 		}
 		if wake > s.now+1 {
 			// Skip cycles (s.now, wake): no core can act, every bus tick in
-			// the span would only scan sleeping channels. Credit the idle
-			// accounting those ticks would have recorded.
-			d.SkippedTicks((wake-1)/busRatio - s.now/busRatio)
+			// the span would only scan sleeping channels. Credit the
+			// accounting those ticks would have recorded — through the
+			// controller when it keeps its own per-tick bookkeeping (retry
+			// drain attempts), else straight to the DRAM idle counters.
+			if n := (wake-1)/busRatio - s.now/busRatio; n > 0 {
+				if s.eng.skipper != nil {
+					s.eng.skipper.SkippedTicks(n)
+				} else {
+					d.SkippedTicks(n)
+				}
+			}
 			s.now = wake - 1
 		}
 		s.now++

@@ -6,18 +6,19 @@ import (
 )
 
 // shardVariants are the shard counts the determinism suite compares: the
-// serial reference loop (0), the smallest engine (2), and the widest
-// configuration the benchmark trajectory ships (8).
-var shardVariants = []int{0, 2, 8}
+// serial reference loop (0), the smallest engine (2), and every wider
+// configuration the benchmark trajectory ships (4, 8).
+var shardVariants = []int{0, 2, 4, 8}
 
 // TestShardDeterminismResults is the engine's core invariant: the epoch
-// engine is purely a performance knob. For every scheme with an engine-side
-// fast path (and the dynamic policy stack on top), the complete Result —
-// cycles, per-core IPC, every cache/controller/DRAM counter, energy, and
-// the obs metrics time series — must be identical at any shard count to the
-// serial reference loop's.
+// engine is purely a performance knob. For every scheme — all seven have
+// engine-side fast paths since the comparator schemes (table-tmc, memzip,
+// ideal) gained ShardIniter support — the complete Result — cycles,
+// per-core IPC, every cache/controller/DRAM counter, energy, and the obs
+// metrics time series — must be identical at any shard count to the serial
+// reference loop's.
 func TestShardDeterminismResults(t *testing.T) {
-	for _, scheme := range []string{SchemeDynamicPTMC, SchemePTMC, SchemeUncompressed} {
+	for _, scheme := range Schemes() {
 		var results []*Result
 		for _, shards := range shardVariants {
 			cfg := Default()

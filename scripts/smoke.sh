@@ -39,9 +39,17 @@ go run ./cmd/obscheck -trace "$out.trace" -metrics "$out.metrics"
 rm -f "$out.metrics" "$out.trace"
 echo "smoke: observability artifacts valid"
 
-# Bench stage: the committed benchmark-trajectory artifact must parse and
-# carry every required series (wall/ at >=2 shard counts, speedup/, micro/).
-# This validates schema presence only — a slower number is a conversation,
-# a missing series is a regression.
-go run ./cmd/benchtrend -check BENCH_PR6.json
-echo "smoke: benchmark trajectory artifact valid"
+# Determinism stage: the epoch engine must stay byte-identical to the
+# serial loop for every scheme, and under the race detector so any
+# cross-shard ordering leak in the first-touch init fan-out is caught, not
+# just its numeric consequences.
+go test -race -run 'TestShardDeterminism' ./internal/sim/ > /dev/null
+echo "smoke: all-scheme shard determinism clean under -race"
+
+# Bench stage: the committed benchmark-trajectory artifacts must parse,
+# carry every required series (wall/ at >=2 shard counts, speedup/,
+# micro/), and advance the PR trajectory in order. This validates schema
+# presence only — a slower number is a conversation, a missing series is a
+# regression.
+go run ./cmd/benchtrend -check BENCH_PR6.json,BENCH_PR7.json
+echo "smoke: benchmark trajectory artifacts valid"
