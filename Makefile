@@ -1,9 +1,12 @@
 # Tier-1 verification plus the race detector and the paperbench smoke.
 #
 #   make check       vet + build + race-enabled tests (the pre-commit gate)
+#   make lint        go vet plus staticcheck when installed, else a gofmt -l
+#                    formatting gate (no new tool dependencies)
 #   make smoke       regenerate the quick paperbench report and diff against
 #                    the committed paperbench_quick.txt (slow: full quick
-#                    set), then run a short fault-injection campaign
+#                    set), then run a short fault-injection campaign, the
+#                    crash-safe daemon recovery stage, and the chaos campaign
 #   make fuzz-smoke  ~10s of native fuzzing per fuzz target
 #   make trace-smoke instrumented quickstart run; obscheck validates the
 #                    -metrics and -trace artifacts it produces
@@ -19,12 +22,29 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test smoke fuzz-smoke trace-smoke bench bench-trend ci
+.PHONY: check lint vet build test smoke fuzz-smoke trace-smoke bench bench-trend ptmcd ci
 
 check: vet build test
 
 vet:
 	$(GO) vet ./...
+
+# lint prefers staticcheck when the host has it; otherwise it degrades to
+# the formatting gate every Go install ships with. Either way it is a
+# hard failure, wired into the smoke pipeline.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "lint: staticcheck ./..."; staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; gofmt -l gate"; \
+		out="$$(gofmt -l .)"; \
+		if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi; \
+	fi
+
+# ptmcd builds the crash-safe simulation daemon (see README "Running the
+# service").
+ptmcd:
+	$(GO) build -o bin/ptmcd ./cmd/ptmcd
 
 build:
 	$(GO) build ./...
@@ -53,6 +73,6 @@ bench:
 
 bench-trend:
 	$(GO) run ./cmd/benchtrend -out BENCH_PR7.json
-	$(GO) run ./cmd/benchtrend -check BENCH_PR6.json,BENCH_PR7.json
+	$(GO) run ./cmd/benchtrend -check 'BENCH_*.json'
 
 ci: check smoke

@@ -16,11 +16,14 @@
 // Validate existing artifacts without running anything:
 //
 //	benchtrend -check BENCH_PR6.json,BENCH_PR7.json
+//	benchtrend -check 'BENCH_*.json'
 //
-// Each file is checked for schema and series presence (missing series
-// fail; value regressions do not — trend analysis is a human's job), and a
-// multi-file check additionally asserts the files form a coherent
-// trajectory: one schema, strictly increasing PR numbers.
+// Each -check element is a literal path or a glob (a pattern matching
+// nothing is an error). Every file is checked for schema and series
+// presence (missing series fail; value regressions do not — trend analysis
+// is a human's job), and a multi-file check additionally asserts the files
+// form a coherent trajectory: one schema, strictly increasing PR numbers,
+// ordered by recorded PR rather than filename.
 package main
 
 import (
@@ -30,8 +33,10 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 	"reflect"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -108,7 +113,12 @@ func main() {
 	flag.Parse()
 
 	if *check != "" {
-		if err := checkTrajectory(strings.Split(*check, ",")); err != nil {
+		paths, err := expandCheckPaths(*check)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtrend: -check: %v\n", err)
+			os.Exit(1)
+		}
+		if err := checkTrajectory(paths); err != nil {
 			fmt.Fprintf(os.Stderr, "benchtrend: %v\n", err)
 			os.Exit(1)
 		}
@@ -330,23 +340,70 @@ func parseInts(s string) ([]int, error) {
 	return out, nil
 }
 
-// checkTrajectory validates each artifact in order and, across files,
-// asserts they form a coherent trajectory: one schema and strictly
-// increasing PR numbers. A single path degenerates to a plain artifact
-// check.
+// expandCheckPaths turns -check's comma-separated list into concrete file
+// paths. Each element may be a literal path or a glob ("BENCH_*.json") —
+// globs with zero matches are an error (a typo'd pattern silently checking
+// nothing would defeat the gate), and duplicates collapse.
+func expandCheckPaths(arg string) ([]string, error) {
+	var out []string
+	seen := map[string]bool{}
+	for _, elem := range strings.Split(arg, ",") {
+		elem = strings.TrimSpace(elem)
+		if elem == "" {
+			continue
+		}
+		matches := []string{elem}
+		if strings.ContainsAny(elem, "*?[") {
+			var err error
+			matches, err = filepath.Glob(elem)
+			if err != nil {
+				return nil, fmt.Errorf("bad pattern %q: %w", elem, err)
+			}
+			if len(matches) == 0 {
+				return nil, fmt.Errorf("pattern %q matched no files", elem)
+			}
+		}
+		for _, m := range matches {
+			if !seen[m] {
+				seen[m] = true
+				out = append(out, m)
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no artifacts to check")
+	}
+	return out, nil
+}
+
+// checkTrajectory validates each artifact and, across files, asserts they
+// form a coherent trajectory: one schema and strictly increasing PR
+// numbers. Files are ordered by their recorded PR, not by name — glob
+// expansion is lexical, and BENCH_PR10.json must sort after BENCH_PR9.json.
+// A single path degenerates to a plain artifact check.
 func checkTrajectory(paths []string) error {
-	lastPR := 0
+	type checked struct {
+		path string
+		art  *artifact
+	}
+	arts := make([]checked, 0, len(paths))
 	for _, path := range paths {
 		art, err := checkArtifact(path)
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
-		if art.PR <= lastPR {
-			return fmt.Errorf("%s: PR %d does not advance the trajectory (previous artifact is PR %d)",
-				path, art.PR, lastPR)
+		arts = append(arts, checked{path, art})
+	}
+	sort.Slice(arts, func(i, j int) bool { return arts[i].art.PR < arts[j].art.PR })
+	lastPR := 0
+	lastPath := ""
+	for _, c := range arts {
+		if c.art.PR <= lastPR {
+			return fmt.Errorf("%s: PR %d does not advance the trajectory (%s is also PR %d)",
+				c.path, c.art.PR, lastPath, lastPR)
 		}
-		lastPR = art.PR
-		fmt.Printf("%s: valid %s artifact (PR %d)\n", path, Schema, art.PR)
+		lastPR, lastPath = c.art.PR, c.path
+		fmt.Printf("%s: valid %s artifact (PR %d)\n", c.path, Schema, c.art.PR)
 	}
 	return nil
 }

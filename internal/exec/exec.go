@@ -25,6 +25,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -78,10 +79,29 @@ type JobOptions struct {
 	// Attempts is the total number of tries for a job whose error is
 	// retryable (IsRetryable). Values below 1 mean one attempt.
 	Attempts int
-	// Backoff is the wait before the first retry; it doubles on each
-	// subsequent retry. The waiting job holds its pool slot (retries are
-	// expected to be rare and short).
+	// Backoff is the base wait before the first retry; it doubles on each
+	// subsequent retry. The actual sleep is jittered — a uniformly random
+	// duration in [Backoff/2, Backoff) — so a burst of jobs that failed
+	// together (a shared dependency hiccup, a drained resource) does not
+	// retry in lockstep. The waiting job holds its pool slot (retries are
+	// expected to be rare and short), but the sleep is context-aware: a
+	// cancelled job abandons the backoff immediately, so a draining
+	// service is never blocked behind a sleeping retry.
 	Backoff time.Duration
+}
+
+// jitter maps a base backoff to the jittered sleep: uniform in
+// [d/2, d). Equal-jitter keeps the expected wait at 3/4 d while spreading
+// simultaneous retriers across half the window. The rand source is a
+// package variable only so tests can pin it.
+var jitterInt63n = rand.Int63n
+
+func jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(jitterInt63n(int64(half)))
 }
 
 // Pool bounds the number of jobs executing concurrently. The zero Pool is
@@ -189,7 +209,7 @@ func (p *Pool) attempt(ctx context.Context, opts JobOptions, fn func(ctx context
 		// deterministic. Only retries re-check the context.
 		if try > 0 {
 			if backoff > 0 {
-				t := time.NewTimer(backoff)
+				t := time.NewTimer(jitter(backoff))
 				select {
 				case <-t.C:
 				case <-ctx.Done():
@@ -381,6 +401,59 @@ func (c *Cache[V]) Do(ctx context.Context, key string, fn func() (V, error)) (v 
 			c.pool.runTime.Observe(time.Since(start).Nanoseconds())
 		}(time.Now())
 		f.val, f.err = fn()
+	}()
+	return f.val, true, f.err
+}
+
+// DoJob is Do with per-attempt options: the leader executes fn on the
+// pool under opts — per-attempt timeout via a derived context fn must
+// honor, and bounded jittered retry for attempts returning a retryable
+// error (see Retryable) — while waiters share the final outcome. Panics
+// convert to *PanicError for the leader and every waiter and are not
+// retried. Like Do, failed flights are forgotten so a later call may try
+// again.
+func (c *Cache[V]) DoJob(ctx context.Context, key string, opts JobOptions, fn func(ctx context.Context) (V, error)) (v V, ran bool, err error) {
+	c.mu.Lock()
+	if f, ok := c.m[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.val, false, f.err
+		case <-ctx.Done():
+			return *new(V), false, ctx.Err()
+		}
+	}
+	f := &flight[V]{done: make(chan struct{})}
+	c.m[key] = f
+	c.mu.Unlock()
+
+	if err := c.pool.acquire(ctx); err != nil {
+		f.err = err
+		c.forget(key)
+		close(f.done)
+		return *new(V), false, err
+	}
+	func() {
+		defer func() {
+			if v := recover(); v != nil {
+				f.err = &PanicError{Value: v, Stack: debug.Stack()}
+			}
+			c.pool.release()
+			if f.err != nil {
+				c.forget(key)
+			}
+			close(f.done)
+		}()
+		// attempt handles the timeout/retry/backoff envelope (including
+		// its own panic conversion and run-time accounting); the recover
+		// above is belt-and-braces for the envelope itself.
+		f.err = c.pool.attempt(ctx, opts, func(ctx context.Context) error {
+			val, err := fn(ctx)
+			if err == nil {
+				f.val = val
+			}
+			return err
+		})
 	}()
 	return f.val, true, f.err
 }

@@ -350,3 +350,75 @@ func TestPoolHistogramsAndJobTrace(t *testing.T) {
 		}
 	}
 }
+
+// TestBackoffJitterBounds pins the jitter window: a jittered backoff is
+// uniform in [d/2, d) — never zero, never the full base — so a burst of
+// simultaneous retriers spreads out instead of thundering back together.
+func TestBackoffJitterBounds(t *testing.T) {
+	const d = 100 * time.Millisecond
+	sawLow, sawHigh := false, false
+	for i := 0; i < 2000; i++ {
+		j := jitter(d)
+		if j < d/2 || j >= d {
+			t.Fatalf("jitter(%v) = %v, want in [%v, %v)", d, j, d/2, d)
+		}
+		if j < d*5/8 {
+			sawLow = true
+		}
+		if j > d*7/8 {
+			sawHigh = true
+		}
+	}
+	if !sawLow || !sawHigh {
+		t.Errorf("jitter not spreading across the window (low=%v high=%v)", sawLow, sawHigh)
+	}
+	if jitter(0) != 0 || jitter(1) != 1 {
+		t.Errorf("degenerate backoffs must pass through unchanged")
+	}
+}
+
+// TestBackoffCancellationPrompt is the drain guarantee: cancelling a job
+// that is asleep in its retry backoff interrupts the sleep immediately —
+// a draining daemon must never wait out a pending retry. The backoff here
+// is far longer than the test's patience; only the ctx-aware sleep lets
+// it pass.
+func TestBackoffCancellationPrompt(t *testing.T) {
+	p := NewPool(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	attempts := make(chan struct{}, 4)
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		done <- p.RunJob(ctx, JobOptions{Attempts: 3, Backoff: time.Hour},
+			func(ctx context.Context) error {
+				attempts <- struct{}{}
+				return Retryable(errors.New("transient"))
+			})
+	}()
+	// First attempt runs, then the job parks in its one-hour backoff.
+	select {
+	case <-attempts:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first attempt never ran")
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancellation did not interrupt the backoff")
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("backoff held the job for %v after cancel", waited)
+	}
+	select {
+	case <-attempts:
+		t.Fatal("job re-attempted after cancellation")
+	default:
+	}
+	if len(p.sem) != 0 {
+		t.Error("slot leaked after cancelled backoff")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // A series is one named, labeled metric backed by a read closure over the
@@ -22,11 +23,20 @@ type series struct {
 // of all of them on the simulator's cycle clock. A nil *Registry is the
 // disabled registry: every method is a no-op, Snapshot allocates nothing.
 //
-// The registry is single-goroutine by design: each Simulator owns its own
-// registry (per-run isolation is what keeps CompareParallel output
-// byte-identical at any -parallel level), and the cycle loop is the only
-// caller.
+// Each Simulator owns its own registry (per-run isolation is what keeps
+// CompareParallel output byte-identical at any -parallel level), and the
+// cycle loop is its only writer. The registry's own bookkeeping is
+// nevertheless mutex-guarded, so a long-running service can serve scrapes
+// (WriteText, Export) concurrently with registration and snapshots — what
+// ptmcd's /metrics endpoint does. The mutex protects the registry's
+// slices, not the sampled values: concurrent scraping is race-free only
+// when the read closures themselves are safe (the service registers
+// closures over sync/atomic counters; a simulation's closures read plain
+// stats fields and remain single-goroutine as before). The lock is
+// uncontended in a simulation — one Snapshot every MetricsInterval cycles
+// — so the hot loop's cost is unchanged.
 type Registry struct {
+	mu        sync.Mutex
 	series    []series
 	snapshots []SnapshotRow
 	buf       []uint64 // flat backing store, one len(series) stripe per snapshot
@@ -64,14 +74,21 @@ func (r *Registry) register(name string, labels map[string]string, read func() u
 	for k, v := range labels {
 		cp[k] = v
 	}
+	r.mu.Lock()
 	r.series = append(r.series, series{name: name, labels: cp, read: read, isGauge: gauge})
+	r.mu.Unlock()
 }
 
 // Snapshot samples every series at the given cycle. Amortised allocation:
 // the backing store grows geometrically, so steady-state snapshots are a
 // loop of closure calls plus slice bookkeeping.
 func (r *Registry) Snapshot(cycle int64) {
-	if r == nil || len(r.series) == 0 {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.series) == 0 {
 		return
 	}
 	n := len(r.series)
@@ -80,10 +97,13 @@ func (r *Registry) Snapshot(cycle int64) {
 		grown := make([]uint64, start, 2*(start+n))
 		copy(grown, r.buf)
 		// Re-point prior rows at the new store so old backing memory frees.
+		// Rows keep their own lengths: series registered between snapshots
+		// make earlier rows shorter than n.
 		off := 0
 		for i := range r.snapshots {
-			r.snapshots[i].Values = grown[off : off+n : off+n]
-			off += n
+			m := len(r.snapshots[i].Values)
+			r.snapshots[i].Values = grown[off : off+m : off+m]
+			off += m
 		}
 		r.buf = grown
 	}
@@ -100,8 +120,10 @@ func (r *Registry) Reset() {
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
 	r.snapshots = r.snapshots[:0]
 	r.buf = r.buf[:0]
+	r.mu.Unlock()
 }
 
 // SeriesDesc describes one registered series in an export.
@@ -122,7 +144,12 @@ type MetricsDump struct {
 // Export copies the registry's current state into a MetricsDump. A nil
 // registry (or one with no snapshots) exports nil.
 func (r *Registry) Export() *MetricsDump {
-	if r == nil || len(r.snapshots) == 0 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.snapshots) == 0 {
 		return nil
 	}
 	d := &MetricsDump{
@@ -139,6 +166,28 @@ func (r *Registry) Export() *MetricsDump {
 		}
 	}
 	return d
+}
+
+// WriteText renders every registered series' current value as one
+// `name{labels} value` line (labels sorted, series in registration
+// order) — a plain-text exposition for scrape endpoints. Unlike Snapshot
+// it stores nothing, so a service scraped forever holds constant memory.
+// Safe for concurrent use with the other Registry methods provided the
+// read closures are themselves concurrency-safe (e.g. sync/atomic
+// counters); a nil registry writes nothing.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	for _, s := range r.series {
+		if _, err := fmt.Fprintf(bw, "%s%s %d\n", s.name, labelKey(s.labels), s.read()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
 }
 
 // labelKey renders labels deterministically ({k=v,k=v} sorted by key).
@@ -222,7 +271,9 @@ func (d *MetricsDump) WriteJSON(w io.Writer) error {
 			var delta uint64
 			if d.Series[j].Gauge {
 				delta = v // gauges have no meaningful delta; re-export the value
-			} else if i == 0 {
+			} else if i == 0 || j >= len(d.Snapshots[i-1].Values) {
+				// First window, or a series registered after the previous
+				// snapshot: the whole value is this window's delta.
 				delta = v
 			} else {
 				prev := d.Snapshots[i-1].Values[j]

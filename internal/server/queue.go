@@ -1,0 +1,136 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Queue is the bounded admission queue between the HTTP layer and the
+// worker loops. Admission is two-phase so the durable accept sits between
+// them: Reserve checks backpressure and per-tenant quota (typed 429/503
+// rejections, no side effects on disk), the caller then writes the WAL
+// accept record, and Commit hands the job to a worker. A failed WAL write
+// releases the reservation with Abort. The channel is the queue; its
+// capacity is fixed at construction, and Reserve's count check under the
+// mutex guarantees Commit never blocks.
+type Queue struct {
+	mu        sync.Mutex
+	capacity  int
+	perTenant int            // 0 = unlimited
+	counts    map[string]int // reserved+queued+running jobs per tenant
+	queued    int            // reservations not yet released by a worker pickup
+	draining  bool
+	ch        chan *job
+}
+
+// NewQueue builds a queue holding at most capacity jobs with at most
+// perTenant jobs (queued or running) per tenant; extra is additional
+// channel headroom for WAL-replayed jobs, which bypass admission — they
+// were durably accepted before the restart and must not be rejectable.
+func NewQueue(capacity, perTenant, extra int) *Queue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Queue{
+		capacity:  capacity,
+		perTenant: perTenant,
+		counts:    make(map[string]int),
+		ch:        make(chan *job, capacity+extra),
+	}
+}
+
+// Reserve claims a queue slot and a tenant quota unit, or returns a typed
+// *APIError: 503 draining, 503 queue_full, 429 quota.
+func (q *Queue) Reserve(tenant string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.draining {
+		return &APIError{Code: 503, Reason: "draining",
+			Msg: "server is draining; resubmit after restart"}
+	}
+	if q.queued >= q.capacity {
+		return &APIError{Code: 503, Reason: "queue_full",
+			Msg: fmt.Sprintf("queue at capacity (%d); retry later", q.capacity)}
+	}
+	if q.perTenant > 0 && q.counts[tenant] >= q.perTenant {
+		return &APIError{Code: 429, Reason: "quota",
+			Msg: fmt.Sprintf("tenant %q at quota (%d in flight)", tenant, q.perTenant)}
+	}
+	q.queued++
+	q.counts[tenant]++
+	return nil
+}
+
+// Commit enqueues a reserved job. The reservation guarantees space.
+func (q *Queue) Commit(j *job) { q.ch <- j }
+
+// Abort releases a reservation whose durable accept failed.
+func (q *Queue) Abort(tenant string) {
+	q.mu.Lock()
+	q.queued--
+	q.decTenant(tenant)
+	q.mu.Unlock()
+}
+
+// EnqueueReplayed admits a WAL-replayed job outside the admission caps
+// (it was already acknowledged in a previous life; rejection is not an
+// option). Quota accounting still tracks it so new submissions see the
+// true tenant load.
+func (q *Queue) EnqueueReplayed(j *job) {
+	q.mu.Lock()
+	q.queued++
+	q.counts[j.spec.Tenant]++
+	q.mu.Unlock()
+	q.ch <- j
+}
+
+// Dequeued marks a job picked up by a worker: its queue slot frees for
+// new admissions (the tenant quota unit stays held until Release).
+func (q *Queue) Dequeued() {
+	q.mu.Lock()
+	q.queued--
+	q.mu.Unlock()
+}
+
+// Release returns the tenant's quota unit when a job reaches a terminal
+// state (or is abandoned at drain).
+func (q *Queue) Release(tenant string) {
+	q.mu.Lock()
+	q.decTenant(tenant)
+	q.mu.Unlock()
+}
+
+func (q *Queue) decTenant(tenant string) {
+	if q.counts[tenant]--; q.counts[tenant] <= 0 {
+		delete(q.counts, tenant)
+	}
+}
+
+// Chan is the worker intake.
+func (q *Queue) Chan() <-chan *job { return q.ch }
+
+// Depth reports jobs queued and not yet picked up.
+func (q *Queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.queued
+}
+
+// SetDraining flips rejection of new work on (drain) — queued jobs stay
+// queued; the WAL keeps them for the next boot.
+func (q *Queue) SetDraining(v bool) {
+	q.mu.Lock()
+	q.draining = v
+	q.mu.Unlock()
+}
+
+// Tenants snapshots current per-tenant load (observability endpoint).
+func (q *Queue) Tenants() map[string]int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make(map[string]int, len(q.counts))
+	for k, v := range q.counts {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,597 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ptmc/internal/exec"
+	"ptmc/internal/obs"
+	"ptmc/internal/sim"
+)
+
+// Config configures a daemon instance. The zero value of an optional
+// field selects the documented default.
+type Config struct {
+	Dir         string        // job-store directory (required)
+	Workers     int           // concurrent jobs (default 1; each job runs its schemes via the exec pool)
+	Parallel    int           // exec pool size for scheme simulations (default GOMAXPROCS)
+	QueueCap    int           // max jobs waiting for a worker (default 64)
+	TenantQuota int           // max queued+running jobs per tenant (0 = unlimited)
+	JobTimeout  time.Duration // default per-scheme deadline (0 = none; spec may override)
+	Retries     int           // attempts per scheme for retryable failures (default 1)
+	Backoff     time.Duration // base jittered backoff between retries (default 100ms)
+	// RunSim is the simulation entry point (nil = sim.RunContext). Tests
+	// substitute fakes and fault injectors; it must be set here — not
+	// after New — because recovery may hand replayed jobs to workers
+	// before New returns.
+	RunSim func(ctx context.Context, cfg sim.Config) (*sim.Result, error)
+}
+
+// ResultArtifact is the persisted (and served) outcome of one job: the
+// normalized spec plus one result per scheme, in matrix order. It is
+// marshalled with canonicalJSON, so a replayed job's artifact is
+// byte-identical to the original run's — simulations are deterministic.
+type ResultArtifact struct {
+	ID      string         `json:"id"`
+	Spec    JobSpec        `json:"spec"`
+	Results []SchemeResult `json:"results"`
+}
+
+// SchemeResult pairs one scheme with its measured result.
+type SchemeResult struct {
+	Scheme string      `json:"scheme"`
+	Result *sim.Result `json:"result"`
+}
+
+// Server is the simulation service: durable intake, bounded queue,
+// pooled execution, SSE progress, and failure-first shutdown.
+type Server struct {
+	cfg   Config
+	store *Store
+	queue *Queue
+	pool  *exec.Pool
+	// flights deduplicates identical (workload, scheme, variant) points
+	// across concurrently-running jobs — the in-memory singleflight layer
+	// above the on-disk result cache.
+	flights *exec.Cache[*sim.Result]
+
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []string
+
+	baseCtx    context.Context // cancelled on drain: running sims stop at their next barrier
+	cancelRuns context.CancelFunc
+	workers    sync.WaitGroup
+	draining   atomic.Bool
+
+	reg *obs.Registry
+	m   metrics
+
+	// runSim is the simulation entry (sim.RunContext); tests substitute
+	// it to inject transient failures, panics, and slow runs.
+	runSim func(ctx context.Context, cfg sim.Config) (*sim.Result, error)
+}
+
+// metrics are the daemon's own series, all atomics so /metrics scrapes
+// race-free against the serving hot path (obs.Registry's documented
+// contract for concurrent scraping).
+type metrics struct {
+	accepted  atomic.Uint64 // jobs durably accepted
+	dedup     atomic.Uint64 // submissions answered by an existing job
+	rejected  atomic.Uint64 // typed 429/503 rejections
+	completed atomic.Uint64 // jobs finished ok
+	failed    atomic.Uint64 // jobs finished with a typed failure
+	replayed  atomic.Uint64 // jobs re-enqueued from the WAL at boot
+	retried   atomic.Uint64 // per-scheme retry attempts
+	cacheHits atomic.Uint64 // jobs served from the persistent result cache
+	inflight  atomic.Uint64 // jobs a worker currently holds
+}
+
+// New opens the store, replays the WAL (re-enqueueing interrupted work),
+// and starts the worker loops. The returned server is ready to serve.
+func New(cfg Config) (*Server, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("server: Config.Dir is required")
+	}
+	store, err := OpenStore(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	return newFromStore(cfg, store)
+}
+
+// newFromStore finishes construction over an already-open store. Split
+// from New so tests can arm fault-injection hooks on the store before any
+// worker goroutine can observe it.
+func newFromStore(cfg Config, store *Store) (*Server, error) {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.QueueCap < 1 {
+		cfg.QueueCap = 64
+	}
+	if cfg.Retries < 1 {
+		cfg.Retries = 1
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 100 * time.Millisecond
+	}
+	stored := store.Jobs()
+	pending := 0
+	for _, sj := range stored {
+		if sj.State == StateAccepted {
+			pending++
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	pool := exec.NewPool(cfg.Parallel)
+	s := &Server{
+		cfg:        cfg,
+		store:      store,
+		queue:      NewQueue(cfg.QueueCap, cfg.TenantQuota, pending),
+		pool:       pool,
+		flights:    exec.NewCache[*sim.Result](pool),
+		jobs:       make(map[string]*job),
+		baseCtx:    ctx,
+		cancelRuns: cancel,
+		reg:        obs.NewRegistry(),
+		runSim:     cfg.RunSim,
+	}
+	if s.runSim == nil {
+		s.runSim = sim.RunContext
+	}
+	s.registerMetrics()
+
+	// Recovery: every stored job becomes an in-memory record; interrupted
+	// ones re-enter the queue. A pending job whose result artifact already
+	// landed (crash between SaveResult and the done record) completes
+	// without re-running — the artifact is whole by construction.
+	for _, sj := range stored {
+		j := newJob(sj.ID, sj.Spec)
+		s.jobs[sj.ID] = j
+		s.order = append(s.order, sj.ID)
+		switch sj.State {
+		case StateDone:
+			j.state = StateDone
+			close(j.done)
+		case StateFailed:
+			j.state = StateFailed
+			j.failKind, j.errMsg = sj.FailKind, sj.Error
+			close(j.done)
+		case StateAccepted:
+			j.replayed = true
+			if store.HasResult(sj.ID) {
+				if err := store.CompleteOK(sj.ID); err == nil {
+					j.state = StateDone
+					close(j.done)
+					j.emit("done", "recovered: artifact found on replay")
+					continue
+				}
+			}
+			j.emit("replayed", "re-enqueued after restart")
+			s.m.replayed.Add(1)
+			s.queue.EnqueueReplayed(j)
+		}
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+func (s *Server) registerMetrics() {
+	c := func(name string, read func() uint64) { s.reg.Counter(name, nil, read) }
+	g := func(name string, read func() uint64) { s.reg.Gauge(name, nil, read) }
+	c("ptmcd.jobs_accepted", s.m.accepted.Load)
+	c("ptmcd.jobs_deduplicated", s.m.dedup.Load)
+	c("ptmcd.jobs_rejected", s.m.rejected.Load)
+	c("ptmcd.jobs_completed", s.m.completed.Load)
+	c("ptmcd.jobs_failed", s.m.failed.Load)
+	c("ptmcd.jobs_replayed", s.m.replayed.Load)
+	c("ptmcd.scheme_retries", s.m.retried.Load)
+	c("ptmcd.result_cache_hits", s.m.cacheHits.Load)
+	g("ptmcd.jobs_inflight", s.m.inflight.Load)
+	g("ptmcd.queue_depth", func() uint64 { return uint64(s.queue.Depth()) })
+	g("ptmcd.draining", func() uint64 {
+		if s.draining.Load() {
+			return 1
+		}
+		return 0
+	})
+	c("ptmcd.wal_replayed_records", func() uint64 { return uint64(s.store.Replayed) })
+	c("ptmcd.wal_truncated_bytes", func() uint64 { return uint64(s.store.Truncated) })
+}
+
+// worker pulls jobs until drain.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case j := <-s.queue.Chan():
+			s.queue.Dequeued()
+			s.runJob(j)
+		}
+	}
+}
+
+// runJob executes one job's scheme matrix and settles its durable state.
+func (s *Server) runJob(j *job) {
+	s.m.inflight.Add(1)
+	defer s.m.inflight.Add(^uint64(0))
+
+	// Served from the persistent result cache: repeated sweeps across
+	// restarts are free.
+	if s.store.HasResult(j.id) {
+		s.m.cacheHits.Add(1)
+		if err := s.store.CompleteOK(j.id); err != nil {
+			s.leaveForReplay(j, err)
+			return
+		}
+		s.m.completed.Add(1)
+		s.queue.Release(j.spec.Tenant)
+		j.finish(StateDone, "", "")
+		return
+	}
+
+	j.mu.Lock()
+	j.state = StateRunning
+	j.mu.Unlock()
+	j.emit("started", "")
+
+	timeout := s.cfg.JobTimeout
+	if j.spec.TimeoutSec > 0 {
+		timeout = time.Duration(j.spec.TimeoutSec) * time.Second
+	}
+	art := ResultArtifact{ID: j.id, Spec: j.spec}
+	for _, scheme := range j.spec.Schemes {
+		scheme := scheme
+		tries := 0
+		res, _, err := s.flights.DoJob(s.baseCtx, j.spec.SchemeKey(scheme),
+			exec.JobOptions{Timeout: timeout, Attempts: s.cfg.Retries, Backoff: s.cfg.Backoff},
+			func(ctx context.Context) (*sim.Result, error) {
+				if tries++; tries > 1 {
+					s.m.retried.Add(1)
+					j.emit("retry", fmt.Sprintf("%s attempt %d", scheme, tries))
+				}
+				return s.runSim(ctx, j.spec.Config(scheme))
+			})
+		if err != nil {
+			s.settleFailure(j, scheme, err)
+			return
+		}
+		art.Results = append(art.Results, SchemeResult{Scheme: scheme, Result: res})
+		j.mu.Lock()
+		j.schemesDone++
+		n := j.schemesDone
+		j.mu.Unlock()
+		j.emit("scheme", fmt.Sprintf("%s done (%d/%d)", scheme, n, len(j.spec.Schemes)))
+	}
+
+	// Durability order: artifact first, then the done record. A crash
+	// between the two replays as "pending with artifact" and completes
+	// without re-running.
+	if err := s.store.SaveResult(j.id, canonicalJSON(art)); err != nil {
+		s.leaveForReplay(j, err)
+		return
+	}
+	if err := s.store.CompleteOK(j.id); err != nil {
+		s.leaveForReplay(j, err)
+		return
+	}
+	s.m.completed.Add(1)
+	s.queue.Release(j.spec.Tenant)
+	j.finish(StateDone, "", "")
+}
+
+// settleFailure classifies a scheme failure and persists the typed
+// outcome — except drain cancellation, which is not a job failure: the
+// job stays accepted in the WAL and the next boot replays it.
+func (s *Server) settleFailure(j *job, scheme string, err error) {
+	if s.baseCtx.Err() != nil {
+		// Drain (or shutdown) cancelled the run at its next epoch barrier.
+		j.emit("canceled", fmt.Sprintf("%s interrupted by drain; job will replay", scheme))
+		return
+	}
+	kind := FailKindSim
+	var pe *exec.PanicError
+	switch {
+	case errors.As(err, &pe):
+		kind = FailKindPanic
+	case errors.Is(err, context.DeadlineExceeded):
+		kind = FailKindTimeout
+	case errors.Is(err, context.Canceled):
+		kind = FailKindCanceled
+	}
+	msg := fmt.Sprintf("%s: %v", scheme, err)
+	if werr := s.store.CompleteFailed(j.id, kind, msg); werr != nil {
+		s.leaveForReplay(j, werr)
+		return
+	}
+	s.m.failed.Add(1)
+	s.queue.Release(j.spec.Tenant)
+	j.finish(StateFailed, kind, msg)
+}
+
+// leaveForReplay handles a store write failing mid-settlement (injected
+// crash, disk error): the job keeps its durable accepted state and the
+// next boot replays it. Nothing is acknowledged that is not on disk.
+func (s *Server) leaveForReplay(j *job, err error) {
+	j.emit("canceled", fmt.Sprintf("store unavailable (%v); job will replay", err))
+}
+
+// Drain is the graceful-shutdown path: stop accepting (readyz and POST
+// /jobs flip to 503), cancel in-flight runs — sim.RunContext returns at
+// its next epoch barrier / cycle checkpoint — wait for the workers,
+// checkpoint the queue, and close the store. Interrupted jobs stay
+// accepted in the WAL; the next boot replays them. Returns nil on a clean
+// drain; ctx bounds how long to wait for workers.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.queue.SetDraining(true)
+	s.cancelRuns()
+	done := make(chan struct{})
+	go func() { s.workers.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain: workers still running: %w", ctx.Err())
+	}
+	if err := s.store.Checkpoint(); err != nil && !errors.Is(err, ErrStoreDead) {
+		return err
+	}
+	return s.store.Close()
+}
+
+// Store exposes the job store (tests, recovery assertions).
+func (s *Server) Store() *Store { return s.store }
+
+// Registry exposes the daemon's metrics registry.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+func (s *Server) lookup(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /readyz", s.handleReady)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(canonicalJSON(v))
+	w.Write([]byte("\n"))
+}
+
+func (s *Server) reject(w http.ResponseWriter, err error) {
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		ae = &APIError{Code: 500, Reason: "internal", Msg: err.Error()}
+	}
+	if ae.Code == 429 || ae.Code == 503 {
+		s.m.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, ae.Code, ae)
+}
+
+// handleSubmit is the accept path. Order matters: validate (free), check
+// admission (no side effects), durably accept (fsync — this IS the ack),
+// then enqueue. A crash after the WAL append and before the response
+// costs the client a retry of an idempotent submit, never a lost job.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(body).Decode(&spec); err != nil {
+		s.reject(w, badRequest("invalid JSON: "+err.Error()))
+		return
+	}
+	if err := spec.Normalize(); err != nil {
+		s.reject(w, err)
+		return
+	}
+	id := spec.Key()
+
+	// Idempotent resubmission: same spec, same job.
+	if j := s.lookup(id); j != nil {
+		s.m.dedup.Add(1)
+		writeJSON(w, http.StatusOK, j.status())
+		return
+	}
+	if s.draining.Load() {
+		s.reject(w, &APIError{Code: 503, Reason: "draining",
+			Msg: "server is draining; resubmit after restart"})
+		return
+	}
+	if err := s.queue.Reserve(spec.Tenant); err != nil {
+		s.reject(w, err)
+		return
+	}
+	if err := s.store.Accept(id, spec); err != nil {
+		s.queue.Abort(spec.Tenant)
+		s.reject(w, &APIError{Code: 503, Reason: "store",
+			Msg: "durable accept failed: " + err.Error()})
+		return
+	}
+	j := newJob(id, spec)
+	s.mu.Lock()
+	if prior, ok := s.jobs[id]; ok {
+		// Two concurrent submits of the same spec raced past lookup; the
+		// store accepted idempotently. Share the first job.
+		s.mu.Unlock()
+		s.queue.Abort(spec.Tenant)
+		s.m.dedup.Add(1)
+		writeJSON(w, http.StatusOK, prior.status())
+		return
+	}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+	s.m.accepted.Add(1)
+	j.emit("accepted", "")
+	s.queue.Commit(j)
+	j.emit("queued", "")
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].status())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, &APIError{Reason: "unknown_job", Msg: "no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j := s.lookup(id)
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, &APIError{Reason: "unknown_job", Msg: "no such job"})
+		return
+	}
+	st := j.status()
+	switch st.State {
+	case StateFailed:
+		writeJSON(w, http.StatusConflict, &APIError{Reason: "job_failed",
+			Msg: st.FailKind + ": " + st.Error})
+		return
+	case StateDone:
+		data, err := s.store.Result(id)
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError,
+				&APIError{Reason: "artifact", Msg: err.Error()})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+		return
+	default:
+		writeJSON(w, http.StatusNotFound, &APIError{Reason: "not_finished",
+			Msg: "job is " + st.State})
+	}
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable,
+			&APIError{Reason: "draining", Msg: "draining"})
+		return
+	}
+	io.WriteString(w, "ready\n")
+}
+
+// handleMetrics serves the daemon registry (atomic-backed, so scrapes are
+// race-free against the serving path) plus the exec pool's histograms.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if err := s.reg.WriteText(w); err != nil {
+		return
+	}
+	fmt.Fprintf(w, "# pool queue-wait %s\n", s.pool.QueueWait())
+	fmt.Fprintf(w, "# pool run-time %s\n", s.pool.RunTime())
+}
+
+// handleEvents streams a job's progress as Server-Sent Events. The
+// backlog is replayed from Last-Event-ID (or from the start), so a client
+// that disconnects — or connects long after the job finished — sees every
+// event exactly once. The stream closes itself once the job is terminal
+// and fully delivered; the job is unaffected by client lifetime.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, &APIError{Reason: "unknown_job", Msg: "no such job"})
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusNotImplemented,
+			&APIError{Reason: "no_flush", Msg: "streaming unsupported"})
+		return
+	}
+	after := 0
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			after = n
+		}
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	ch := make(chan Event, 16)
+	backlog := j.subscribe(after, ch)
+	defer j.unsubscribe(ch)
+	last := after
+	send := func(ev Event) bool {
+		if ev.Seq <= last {
+			return true
+		}
+		last = ev.Seq
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n",
+			ev.Seq, ev.Kind, canonicalJSON(ev)); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+	for _, ev := range backlog {
+		if !send(ev) {
+			return
+		}
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev := <-ch:
+			if !send(ev) {
+				return
+			}
+		case <-j.done:
+			// Terminal: deliver whatever the live channel missed (slow
+			// subscriber skips land in the backlog) and finish.
+			for _, ev := range j.backlogAfter(last) {
+				if !send(ev) {
+					return
+				}
+			}
+			return
+		}
+	}
+}

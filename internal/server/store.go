@@ -1,0 +1,440 @@
+package server
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// The on-disk job store is a write-ahead log plus an atomic result
+// directory:
+//
+//	<dir>/wal.log            length+CRC framed, fsync'd append-only records
+//	<dir>/results/<key>.json whole-file results, written tmp+rename+fsync
+//
+// Each WAL record is [len uint32][crc32 uint32][payload JSON], little
+// endian. Appends are fsync'd before the caller is told the operation
+// succeeded — Accept returning nil IS the daemon's 202, so a kill -9 at
+// any later instant cannot lose the job. Because the log is append-only,
+// a torn write can exist only at the tail: replay stops at the first
+// frame whose length or checksum does not hold, truncates the file there,
+// and the store is exactly the prefix of operations that were fully
+// written. Results are never written in place; a result file either does
+// not exist or is complete.
+//
+// Crash-recovery state machine (replayed in WAL order):
+//
+//	accept(id)        -> job pending
+//	done(id, ok)      -> job done   (result file must exist; if the
+//	                     artifact vanished the job degrades to pending
+//	                     and is simply re-run — simulations are
+//	                     deterministic, so the re-run is byte-identical)
+//	done(id, failed)  -> job failed (typed kind + message preserved)
+//
+// A job that was running at the moment of the crash has an accept record
+// and no done record, so replay re-enqueues it. Checkpoint compacts the
+// log to one accept (+ one done) per job, called on graceful drain.
+
+// ErrStoreDead is returned by every operation after an injected crash:
+// the chaos harness uses it to guarantee a "dead" store stops mutating
+// disk at exactly the injected point, like the process it stands in for.
+var ErrStoreDead = errors.New("server: job store is dead (injected crash)")
+
+// CrashPoint names the instants the chaos harness may kill the store at.
+type CrashPoint string
+
+const (
+	CrashBeforeAppend CrashPoint = "before-append" // record never written
+	CrashAfterWrite   CrashPoint = "after-write"   // written, not synced: tail may tear
+	CrashAfterSync    CrashPoint = "after-sync"    // durable, caller never told
+	CrashAfterResult  CrashPoint = "after-result"  // result durable, done record absent
+)
+
+// maxRecord bounds one WAL payload; anything larger during replay is
+// treated as a torn/corrupt tail.
+const maxRecord = 1 << 20
+
+// walRecord is the JSON payload of one frame.
+type walRecord struct {
+	Op       string   `json:"op"` // accept | done
+	ID       string   `json:"id"`
+	Spec     *JobSpec `json:"spec,omitempty"`
+	Status   string   `json:"status,omitempty"` // ok | failed
+	FailKind string   `json:"fail_kind,omitempty"`
+	Error    string   `json:"error,omitempty"`
+}
+
+// StoredJob is one job's durable state after replay.
+type StoredJob struct {
+	ID       string
+	Spec     JobSpec
+	State    string // StateAccepted | StateDone | StateFailed
+	FailKind string
+	Error    string
+}
+
+// Store is the durable job store. All methods are safe for concurrent
+// use; every mutation is fsync'd before it reports success.
+type Store struct {
+	dir string
+
+	mu    sync.Mutex
+	wal   *os.File
+	jobs  map[string]*StoredJob
+	order []string
+	dead  bool
+
+	// Truncated reports how many torn tail bytes replay discarded —
+	// observability for the recovery path, asserted on by the chaos tests.
+	Truncated int64
+	// Replayed counts the records recovered from the existing WAL.
+	Replayed int
+
+	// crash is the chaos hook (nil in production): consulted at each
+	// CrashPoint; a non-nil return kills the store there.
+	crash func(CrashPoint) error
+}
+
+// OpenStore opens (creating if needed) the job store in dir and replays
+// the WAL, truncating a torn tail.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "results"), 0o755); err != nil {
+		return nil, fmt.Errorf("server: store: %w", err)
+	}
+	s := &Store{dir: dir, jobs: make(map[string]*StoredJob)}
+	walPath := filepath.Join(dir, "wal.log")
+	data, err := os.ReadFile(walPath)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("server: store: %w", err)
+	}
+	valid := s.replay(data)
+	f, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("server: store: %w", err)
+	}
+	if valid < int64(len(data)) {
+		s.Truncated = int64(len(data)) - valid
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("server: store: truncate torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(valid, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("server: store: %w", err)
+	}
+	s.wal = f
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// replay applies every fully-written record in data and returns the byte
+// offset of the last valid frame's end (everything past it is torn).
+func (s *Store) replay(data []byte) int64 {
+	off := 0
+	for {
+		if len(data)-off < 8 {
+			return int64(off)
+		}
+		n := binary.LittleEndian.Uint32(data[off : off+4])
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if n == 0 || n > maxRecord || len(data)-off-8 < int(n) {
+			return int64(off)
+		}
+		payload := data[off+8 : off+8+int(n)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return int64(off)
+		}
+		var rec walRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return int64(off)
+		}
+		s.apply(rec)
+		s.Replayed++
+		off += 8 + int(n)
+	}
+}
+
+// apply folds one record into the in-memory state (replay rules above).
+func (s *Store) apply(rec walRecord) {
+	switch rec.Op {
+	case "accept":
+		if rec.Spec == nil {
+			return
+		}
+		if _, ok := s.jobs[rec.ID]; ok {
+			return // idempotent: duplicate accepts collapse
+		}
+		s.jobs[rec.ID] = &StoredJob{ID: rec.ID, Spec: *rec.Spec, State: StateAccepted}
+		s.order = append(s.order, rec.ID)
+	case "done":
+		j, ok := s.jobs[rec.ID]
+		if !ok {
+			return
+		}
+		if rec.Status == "ok" {
+			if s.hasResultFile(rec.ID) {
+				j.State = StateDone
+			}
+			// No artifact: leave pending, the job re-runs deterministically.
+		} else {
+			j.State, j.FailKind, j.Error = StateFailed, rec.FailKind, rec.Error
+		}
+	}
+}
+
+// Jobs returns every stored job in WAL (acceptance) order.
+func (s *Store) Jobs() []*StoredJob {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*StoredJob, 0, len(s.order))
+	for _, id := range s.order {
+		j := *s.jobs[id]
+		out = append(out, &j)
+	}
+	return out
+}
+
+// append frames, writes, and fsyncs one record while holding s.mu.
+func (s *Store) append(rec walRecord) error {
+	if s.dead {
+		return ErrStoreDead
+	}
+	if err := s.at(CrashBeforeAppend); err != nil {
+		return err
+	}
+	payload := canonicalJSON(rec)
+	frame := make([]byte, 8, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	frame = append(frame, payload...)
+	if _, err := s.wal.Write(frame); err != nil {
+		return fmt.Errorf("server: wal append: %w", err)
+	}
+	if err := s.at(CrashAfterWrite); err != nil {
+		return err
+	}
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("server: wal sync: %w", err)
+	}
+	return s.at(CrashAfterSync)
+}
+
+// at consults the crash hook; on injection the store dies in place.
+func (s *Store) at(p CrashPoint) error {
+	if s.crash == nil {
+		return nil
+	}
+	if err := s.crash(p); err != nil {
+		s.dead = true
+		return err
+	}
+	return nil
+}
+
+// Accept durably records the job. When Accept returns nil the job is
+// guaranteed to survive any crash; the HTTP layer acknowledges only then.
+// Accepting an already-stored id is a no-op (idempotent resubmission).
+func (s *Store) Accept(id string, spec JobSpec) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dead {
+		return ErrStoreDead
+	}
+	if _, ok := s.jobs[id]; ok {
+		return nil
+	}
+	if err := s.append(walRecord{Op: "accept", ID: id, Spec: &spec}); err != nil {
+		return err
+	}
+	s.jobs[id] = &StoredJob{ID: id, Spec: spec, State: StateAccepted}
+	s.order = append(s.order, id)
+	return nil
+}
+
+// CompleteOK durably marks the job done. The result artifact must have
+// been saved first (SaveResult); the ordering is what makes "done" imply
+// "result readable" across any crash.
+func (s *Store) CompleteOK(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return fmt.Errorf("server: complete: unknown job %s", id)
+	}
+	if err := s.append(walRecord{Op: "done", ID: id, Status: "ok"}); err != nil {
+		return err
+	}
+	j.State = StateDone
+	return nil
+}
+
+// CompleteFailed durably records a typed failure.
+func (s *Store) CompleteFailed(id, failKind, msg string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return fmt.Errorf("server: complete: unknown job %s", id)
+	}
+	rec := walRecord{Op: "done", ID: id, Status: "failed", FailKind: failKind, Error: msg}
+	if err := s.append(rec); err != nil {
+		return err
+	}
+	j.State, j.FailKind, j.Error = StateFailed, failKind, msg
+	return nil
+}
+
+func (s *Store) resultPath(id string) string {
+	return filepath.Join(s.dir, "results", id+".json")
+}
+
+func (s *Store) hasResultFile(id string) bool {
+	_, err := os.Stat(s.resultPath(id))
+	return err == nil
+}
+
+// SaveResult atomically persists the job's result artifact: write to a
+// temp file, fsync it, rename into place, fsync the directory. A crash at
+// any instant leaves either no file or the complete file — never a torn
+// result.
+func (s *Store) SaveResult(id string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dead {
+		return ErrStoreDead
+	}
+	dir := filepath.Join(s.dir, "results")
+	tmp, err := os.CreateTemp(dir, ".tmp-"+id+"-*")
+	if err != nil {
+		return fmt.Errorf("server: save result: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("server: save result: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("server: save result: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("server: save result: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.resultPath(id)); err != nil {
+		return fmt.Errorf("server: save result: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	return s.at(CrashAfterResult)
+}
+
+// Result reads the persisted result artifact.
+func (s *Store) Result(id string) ([]byte, error) {
+	return os.ReadFile(s.resultPath(id))
+}
+
+// HasResult reports whether the job's result artifact is on disk.
+func (s *Store) HasResult(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hasResultFile(id)
+}
+
+// Checkpoint compacts the WAL to one accept record (plus one done record
+// for terminal jobs) per job, atomically (tmp+rename): a crash during
+// checkpoint leaves the previous log intact. Called on graceful drain so
+// a restart replays a minimal queue.
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dead {
+		return ErrStoreDead
+	}
+	var buf []byte
+	frame := func(rec walRecord) {
+		payload := canonicalJSON(rec)
+		var hdr [8]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, payload...)
+	}
+	for _, id := range s.order {
+		j := s.jobs[id]
+		spec := j.Spec
+		frame(walRecord{Op: "accept", ID: id, Spec: &spec})
+		switch j.State {
+		case StateDone:
+			frame(walRecord{Op: "done", ID: id, Status: "ok"})
+		case StateFailed:
+			frame(walRecord{Op: "done", ID: id, Status: "failed",
+				FailKind: j.FailKind, Error: j.Error})
+		}
+	}
+	tmp, err := os.CreateTemp(s.dir, ".wal-*")
+	if err != nil {
+		return fmt.Errorf("server: checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return fmt.Errorf("server: checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("server: checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("server: checkpoint: %w", err)
+	}
+	walPath := filepath.Join(s.dir, "wal.log")
+	if err := os.Rename(tmp.Name(), walPath); err != nil {
+		return fmt.Errorf("server: checkpoint: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+	// Re-point the append handle at the compacted log.
+	s.wal.Close()
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("server: checkpoint: reopen: %w", err)
+	}
+	s.wal = f
+	return nil
+}
+
+// Close releases the WAL handle (no flush needed: every append synced).
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal != nil {
+		err := s.wal.Close()
+		s.wal = nil
+		return err
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-created/renamed entry is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("server: sync dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("server: sync dir %s: %w", dir, err)
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+package sim
+
+// Epoch-barrier cancellation: the daemon's graceful drain (internal/server)
+// relies on a cancelled context stopping a live simulation at its next
+// checkpoint — every 4096 cycles in the serial loop, every epoch in the
+// shard engine — with the controller's compressed image left consistent
+// and no goroutine left behind. These tests pin that contract at the
+// simulator layer for the serial path (Shards 0) and the epoch engine
+// (Shards 2 and 8).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"ptmc/internal/mem"
+	"ptmc/internal/memctrl"
+)
+
+// waitGoroutinesSettle polls until the goroutine count returns to (near)
+// the baseline, failing if shard workers outlive the cancelled run.
+func waitGoroutinesSettle(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		runtime.GC() // nudge finished goroutines off the scheduler
+		n := runtime.NumGoroutine()
+		if n <= baseline+1 { // +1: runtime housekeeping may lag
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines never settled: %d now vs %d baseline", n, baseline)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestCancellationAtEpochBarriers(t *testing.T) {
+	for _, shards := range []int{0, 2, 8} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards%d", shards), func(t *testing.T) {
+			baseline := runtime.NumGoroutine()
+
+			cfg := quickCfg("lbm06", SchemeDynamicPTMC)
+			cfg.WarmupInstr = 0
+			// Far more work than can finish before the cancel lands: the
+			// run must die at a barrier, not at the finish line.
+			cfg.MeasureInstr = 50_000_000
+			cfg.Shards = shards
+			s, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan error, 1)
+			go func() {
+				_, rerr := s.RunContext(ctx)
+				done <- rerr
+			}()
+			time.Sleep(10 * time.Millisecond) // let the run get mid-flight
+			cancel()
+
+			select {
+			case rerr := <-done:
+				if !errors.Is(rerr, context.Canceled) {
+					t.Fatalf("RunContext returned %v, want context.Canceled", rerr)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("RunContext did not return within 5s of cancellation")
+			}
+
+			// No leaked shard workers: the engine's fanout goroutines must
+			// be gone, not parked mid-epoch.
+			waitGoroutinesSettle(t, baseline)
+
+			// No store corruption: the controller's compressed image still
+			// verifies end to end. Lines resident in the (inclusive) LLC are
+			// allowed to be stale in memory — the standard verifier oracle.
+			p, ok := s.Controller().(*memctrl.PTMC)
+			if !ok {
+				t.Fatalf("controller is %T, want *memctrl.PTMC", s.Controller())
+			}
+			inLLC := func(a mem.LineAddr) bool {
+				_, in := s.l3.Probe(a)
+				return in
+			}
+			if _, verr := p.VerifyImage(inLLC); verr != nil {
+				t.Fatalf("image corrupt after mid-run cancellation: %v", verr)
+			}
+		})
+	}
+}
+
+// TestCancellationDuringWarmup checks the warmup leg propagates ctx errors
+// through its wrap (the daemon classifies on errors.Is, not string match).
+func TestCancellationDuringWarmup(t *testing.T) {
+	cfg := quickCfg("mcf06", SchemeUncompressed)
+	cfg.WarmupInstr = 50_000_000
+	cfg.MeasureInstr = 1000
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, rerr := s.RunContext(ctx)
+		done <- rerr
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case rerr := <-done:
+		if !errors.Is(rerr, context.Canceled) {
+			t.Fatalf("warmup cancellation returned %v, want context.Canceled", rerr)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("warmup cancellation never returned")
+	}
+}
+
+// TestCancellationAlreadyDone: a pre-cancelled context aborts before any
+// cycle executes, for both loop implementations.
+func TestCancellationAlreadyDone(t *testing.T) {
+	for _, shards := range []int{0, 2} {
+		cfg := quickCfg("lbm06", SchemePTMC)
+		cfg.Shards = shards
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := RunContext(ctx, cfg); !errors.Is(err, context.Canceled) {
+			t.Fatalf("shards=%d: pre-cancelled run returned %v", shards, err)
+		}
+	}
+}

@@ -6,6 +6,11 @@
 set -e
 cd "$(dirname "$0")/.."
 parallel="${1:-0}"
+
+# Lint gate first: cheapest stage, fails fastest. staticcheck when the
+# host has it, the gofmt formatting gate otherwise (see Makefile).
+make -s lint
+echo "smoke: lint clean"
 out="$(mktemp)"
 trap 'rm -f "$out"' EXIT
 if [ "$parallel" -gt 0 ] 2>/dev/null; then
@@ -48,8 +53,23 @@ echo "smoke: all-scheme shard determinism clean under -race"
 
 # Bench stage: the committed benchmark-trajectory artifacts must parse,
 # carry every required series (wall/ at >=2 shard counts, speedup/,
-# micro/), and advance the PR trajectory in order. This validates schema
-# presence only — a slower number is a conversation, a missing series is a
-# regression.
-go run ./cmd/benchtrend -check BENCH_PR6.json,BENCH_PR7.json
+# micro/), and advance the PR trajectory in order (ordered by recorded PR,
+# so the glob picks up every future artifact automatically). This validates
+# schema presence only — a slower number is a conversation, a missing
+# series is a regression.
+go run ./cmd/benchtrend -check 'BENCH_*.json'
 echo "smoke: benchmark trajectory artifacts valid"
+
+# Chaos stage: the durable job queue's full campaign — 200 randomized
+# crash / torn-write / cancellation trials, each adjudicated
+# recovered/degraded with zero LOST jobs, under the race detector.
+go test -race -count=1 -run 'TestChaosCampaign' ./internal/server/ > /dev/null
+echo "smoke: chaos campaign clean (200 trials, zero lost)"
+
+# Daemon crash-recovery stage: boot ptmcd, run a reference job to
+# completion, then on a fresh store submit the same job, SIGKILL the
+# daemon mid-simulation, restart over the same store, and require the
+# replayed job to finish with a byte-identical result artifact. Both
+# daemons are stopped with SIGTERM and must drain cleanly (exit 0).
+./scripts/smoke_ptmcd.sh
+echo "smoke: daemon crash recovery byte-identical, drains exit 0"

@@ -1,0 +1,92 @@
+#!/bin/sh
+# Crash-recovery smoke for cmd/ptmcd: the acceptance script for the
+# daemon's durability contract.
+#
+#   1. Reference leg: boot a daemon, submit a job, let it complete, save
+#      the result artifact, SIGTERM the daemon — it must exit 0 after a
+#      clean drain.
+#   2. Crash leg: fresh store, same job, SIGKILL the daemon mid-simulation
+#      (kill -9: no drain, no checkpoint), restart over the same store.
+#      The WAL replays the accepted job, the deterministic simulator
+#      re-runs it, and the served artifact must be byte-identical to the
+#      reference. The restarted daemon must also drain to exit 0.
+set -e
+cd "$(dirname "$0")/.."
+
+work="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+	[ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2>/dev/null || true
+	rm -rf "$work"
+}
+trap cleanup EXIT
+
+go build -o "$work/ptmcd" ./cmd/ptmcd
+
+# Sized so the measured window takes a few seconds on one core: long
+# enough that the SIGKILL below reliably lands mid-run.
+spec='{"workload":"lbm06","schemes":["dynamic-ptmc"],"cores":2,"warmup_instr":500000,"measure_instr":6000000}'
+
+# boot_daemon DATA_DIR -> sets $daemon_pid and $base (URL)
+boot_daemon() {
+	rm -f "$work/addr"
+	"$work/ptmcd" -addr 127.0.0.1:0 -addr-file "$work/addr" -data "$1" \
+		-workers 1 >> "$work/daemon.log" 2>&1 &
+	daemon_pid=$!
+	i=0
+	while [ ! -f "$work/addr" ]; do
+		i=$((i + 1))
+		if [ "$i" -gt 100 ]; then
+			echo "smoke_ptmcd: daemon never wrote its address file" >&2
+			cat "$work/daemon.log" >&2
+			exit 1
+		fi
+		sleep 0.1
+	done
+	base="http://$(cat "$work/addr")"
+}
+
+# sigterm_daemon: drain must be clean and the exit status 0.
+sigterm_daemon() {
+	kill -TERM "$daemon_pid"
+	if ! wait "$daemon_pid"; then
+		echo "smoke_ptmcd: daemon exited non-zero on SIGTERM drain" >&2
+		cat "$work/daemon.log" >&2
+		exit 1
+	fi
+	daemon_pid=""
+}
+
+# --- Reference leg -----------------------------------------------------
+boot_daemon "$work/ref-data"
+id="$("$work/ptmcd" submit -server "$base" -spec "$spec")"
+"$work/ptmcd" wait -server "$base" -id "$id" -timeout 5m > /dev/null
+"$work/ptmcd" result -server "$base" -id "$id" > "$work/ref.json"
+sigterm_daemon
+
+# --- Crash leg ---------------------------------------------------------
+boot_daemon "$work/crash-data"
+id2="$("$work/ptmcd" submit -server "$base" -spec "$spec")"
+if [ "$id2" != "$id" ]; then
+	echo "smoke_ptmcd: same spec produced different job ids ($id vs $id2)" >&2
+	exit 1
+fi
+# Let the simulation get well into its run, then kill -9: no drain, no
+# checkpoint, the WAL abandoned exactly as it lies.
+sleep 1.5
+kill -9 "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+
+# Restart over the crashed store: the accepted job replays and completes.
+boot_daemon "$work/crash-data"
+"$work/ptmcd" wait -server "$base" -id "$id" -timeout 5m > /dev/null
+"$work/ptmcd" result -server "$base" -id "$id" > "$work/replayed.json"
+sigterm_daemon
+
+if ! cmp -s "$work/ref.json" "$work/replayed.json"; then
+	echo "smoke_ptmcd: replayed result differs from the reference artifact" >&2
+	diff "$work/ref.json" "$work/replayed.json" >&2 || true
+	exit 1
+fi
+echo "smoke_ptmcd: job $id recovered after kill -9 with a byte-identical artifact"
