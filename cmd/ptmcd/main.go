@@ -18,10 +18,15 @@
 //	ptmcd status -server http://HOST -id JOBID
 //	ptmcd wait   -server http://HOST -id JOBID [-timeout 10m]
 //	ptmcd result -server http://HOST -id JOBID
+//	ptmcd trace  -server http://HOST -id JOBID
 //
 // submit prints the job id on stdout; wait blocks until the job is
 // terminal and exits non-zero if it failed; result streams the persisted
-// result artifact to stdout.
+// result artifact to stdout; trace streams the Chrome-trace artifact of a
+// job submitted with "trace": true.
+//
+// Every verb but trace also works on sweeps with -sweep: submit posts the
+// spec to /sweeps, and status/wait/result address /sweeps/{id}.
 package main
 
 import (
@@ -70,6 +75,7 @@ func serve(args []string) error {
 		timeout  = fs.Duration("job-timeout", 0, "default per-scheme deadline (0 = none)")
 		retries  = fs.Int("retries", 1, "attempts per scheme for retryable failures")
 		backoff  = fs.Duration("backoff", 100*time.Millisecond, "base jittered retry backoff")
+		segBytes = fs.Int64("wal-segment", 0, "WAL segment rotation threshold in bytes (0 = default 4MiB)")
 		drainT   = fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight jobs on shutdown")
 		pprof    = fs.String("pprof", "", "serve net/http/pprof on this address")
 	)
@@ -84,14 +90,15 @@ func serve(args []string) error {
 	}
 
 	srv, err := server.New(server.Config{
-		Dir:         *dir,
-		Workers:     *workers,
-		Parallel:    *parallel,
-		QueueCap:    *queue,
-		TenantQuota: *quota,
-		JobTimeout:  *timeout,
-		Retries:     *retries,
-		Backoff:     *backoff,
+		Dir:          *dir,
+		Workers:      *workers,
+		Parallel:     *parallel,
+		QueueCap:     *queue,
+		TenantQuota:  *quota,
+		JobTimeout:   *timeout,
+		Retries:      *retries,
+		Backoff:      *backoff,
+		SegmentBytes: *segBytes,
 	})
 	if err != nil {
 		return err
@@ -145,13 +152,20 @@ func client(cmd string, args []string) error {
 	fs := flag.NewFlagSet("ptmcd "+cmd, flag.ExitOnError)
 	var (
 		serverURL = fs.String("server", "http://127.0.0.1:8080", "daemon base URL")
-		id        = fs.String("id", "", "job id")
+		id        = fs.String("id", "", "job (or sweep, with -sweep) id")
 		spec      = fs.String("spec", "", "job spec JSON (submit; - reads stdin)")
+		sweepMode = fs.Bool("sweep", false, "operate on a sweep: submit posts to /sweeps, status/wait/result use /sweeps/{id}")
 		timeout   = fs.Duration("timeout", 15*time.Minute, "wait deadline")
 		poll      = fs.Duration("poll", 200*time.Millisecond, "wait poll interval")
 	)
 	fs.Parse(args)
 	base := strings.TrimRight(*serverURL, "/")
+	// Jobs and sweeps share the submit/status/wait/result verbs; only the
+	// resource path differs.
+	resource := base + "/jobs"
+	if *sweepMode {
+		resource = base + "/sweeps"
+	}
 
 	switch cmd {
 	case "submit":
@@ -163,7 +177,7 @@ func client(cmd string, args []string) error {
 			}
 			body = string(b)
 		}
-		resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(body))
+		resp, err := http.Post(resource, "application/json", strings.NewReader(body))
 		if err != nil {
 			return err
 		}
@@ -185,28 +199,44 @@ func client(cmd string, args []string) error {
 		if *id == "" {
 			return errors.New("status: -id is required")
 		}
-		return fetch(base+"/jobs/"+*id, os.Stdout)
+		return fetch(resource+"/"+*id, os.Stdout)
 
 	case "result":
 		if *id == "" {
 			return errors.New("result: -id is required")
 		}
-		return fetch(base+"/jobs/"+*id+"/result", os.Stdout)
+		return fetch(resource+"/"+*id+"/result", os.Stdout)
+
+	case "trace":
+		if *id == "" {
+			return errors.New("trace: -id is required")
+		}
+		if *sweepMode {
+			return errors.New("trace: sweeps have no trace artifact (trace individual child jobs)")
+		}
+		return fetch(base+"/jobs/"+*id+"/trace", os.Stdout)
+
+	case "metrics":
+		return fetch(base+"/metrics", os.Stdout)
 
 	case "wait":
 		if *id == "" {
 			return errors.New("wait: -id is required")
 		}
+		what := "job"
+		if *sweepMode {
+			what = "sweep"
+		}
 		deadline := time.Now().Add(*timeout)
 		for {
-			st, err := status(base, *id)
+			st, err := status(resource, *id)
 			if err == nil {
 				switch st.State {
 				case "done":
 					fmt.Println("done")
 					return nil
 				case "failed":
-					return fmt.Errorf("job failed (%s): %s", st.FailKind, st.Error)
+					return fmt.Errorf("%s failed (%s): %s", what, st.FailKind, st.Error)
 				}
 			}
 			// Transient fetch errors (daemon restarting mid-wait) retry
@@ -215,18 +245,26 @@ func client(cmd string, args []string) error {
 				if err != nil {
 					return fmt.Errorf("wait: %w", err)
 				}
-				return fmt.Errorf("wait: timed out (job %s)", *id)
+				return fmt.Errorf("wait: timed out (%s)", *id)
 			}
 			time.Sleep(*poll)
 		}
 
 	default:
-		return fmt.Errorf("unknown subcommand %q (want submit|status|wait|result)", cmd)
+		return fmt.Errorf("unknown subcommand %q (want submit|status|wait|result|trace|metrics)", cmd)
 	}
 }
 
-func status(base, id string) (*server.JobStatus, error) {
-	resp, err := http.Get(base + "/jobs/" + id)
+// waitStatus is the subset of job/sweep status that wait needs; both
+// resources serve it under the same field names.
+type waitStatus struct {
+	State    string `json:"state"`
+	FailKind string `json:"fail_kind"`
+	Error    string `json:"error"`
+}
+
+func status(resource, id string) (*waitStatus, error) {
+	resp, err := http.Get(resource + "/" + id)
 	if err != nil {
 		return nil, err
 	}
@@ -234,7 +272,7 @@ func status(base, id string) (*server.JobStatus, error) {
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("status: %s", resp.Status)
 	}
-	var st server.JobStatus
+	var st waitStatus
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		return nil, err
 	}

@@ -1,13 +1,15 @@
 package server
 
 // Chaos campaign for the durable job queue. Each trial boots a daemon over
-// one on-disk store, submits jobs, then kills it rudely: an injected store
-// crash at a random WAL point (before-append / after-write / after-sync /
-// after-result), a mid-run drain (SIGTERM), or an abrupt stop (kill -9),
-// optionally followed by garbage appended to the WAL tail (a torn
+// one on-disk store with tiny WAL segments (so rotation and live
+// compaction run constantly), submits jobs and the occasional sweep, then
+// kills it rudely: an injected store crash at a random WAL point
+// (before-append / after-write / after-sync / after-result / mid-compact),
+// a mid-run drain (SIGTERM), or an abrupt stop (kill -9), optionally
+// followed by garbage appended to the newest segment's tail (a torn
 // in-progress record — the only tear a fsync'd append-only log can suffer).
-// A final clean boot replays the store and every job ACKNOWLEDGED during
-// the trial is adjudicated:
+// A final clean boot replays the store and every job AND sweep
+// ACKNOWLEDGED during the trial is adjudicated:
 //
 //	recovered — done, result artifact served
 //	degraded  — failed with a typed kind (panic/timeout/canceled/sim)
@@ -28,6 +30,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -103,10 +106,17 @@ type chaosTrial struct {
 	// acked maps job id -> true for every submission the daemon
 	// acknowledged (HTTP 202 or 200). These are the jobs it must never lose.
 	acked map[string]bool
+	// ackedSweeps holds every acknowledged sweep id: a restarted daemon
+	// must finish each one and serve its aggregate artifact.
+	ackedSweeps map[string]bool
 }
 
+// chaosSegBytes keeps segments tiny so every trial exercises rotation and
+// live compaction, not just the append path.
+const chaosSegBytes = 512
+
 func (c *chaosTrial) boot(armCrash bool) (*Server, *httptest.Server) {
-	store, err := OpenStore(c.dir)
+	store, err := OpenStoreSegmented(c.dir, chaosSegBytes)
 	if err != nil {
 		c.t.Fatalf("open store over %s: %v", c.dir, err)
 	}
@@ -116,7 +126,7 @@ func (c *chaosTrial) boot(armCrash bool) (*Server, *httptest.Server) {
 		// the process were gone. Armed before newFromStore so no worker
 		// goroutine races the hook installation.
 		points := []CrashPoint{CrashBeforeAppend, CrashAfterWrite,
-			CrashAfterSync, CrashAfterResult}
+			CrashAfterSync, CrashAfterResult, CrashDuringCompact}
 		at := points[c.rng.Intn(len(points))]
 		fuse := c.rng.Intn(5)
 		var mu sync.Mutex
@@ -149,12 +159,18 @@ func (c *chaosTrial) boot(armCrash bool) (*Server, *httptest.Server) {
 }
 
 // submitSome fires 1-3 random job specs, recording which were acked.
+// Roughly every third call it also rides a small sweep along, drawn from
+// the same workload/seed pools so chaosSim behaviors stay sticky across
+// plain jobs, sweep children, and re-runs after a crash.
 func (c *chaosTrial) submitSome(hs *httptest.Server) {
 	workloads := []string{"lbm06", "mcf06"}
 	schemeSets := [][]string{
 		{sim.SchemeUncompressed},
 		{sim.SchemePTMC},
 		{sim.SchemeUncompressed, sim.SchemePTMC},
+	}
+	if c.rng.Intn(3) == 0 {
+		c.submitSweep(hs, workloads)
 	}
 	for n := 1 + c.rng.Intn(3); n > 0; n-- {
 		spec := JobSpec{
@@ -179,6 +195,40 @@ func (c *chaosTrial) submitSome(hs *httptest.Server) {
 			}
 			c.acked[st.ID] = true
 		}
+	}
+}
+
+// submitSweep posts one small sweep (1 workload x 1-2 schemes x 1-2 seeds)
+// and records its id if acked; the restarted daemon owes it an aggregate.
+func (c *chaosTrial) submitSweep(hs *httptest.Server, workloads []string) {
+	schemes := []string{sim.SchemeUncompressed}
+	if c.rng.Intn(2) == 0 {
+		schemes = append(schemes, sim.SchemePTMC)
+	}
+	seeds := []int64{int64(1 + c.rng.Intn(6))}
+	if c.rng.Intn(2) == 0 && seeds[0] < 6 {
+		seeds = append(seeds, seeds[0]+1)
+	}
+	spec := SweepSpec{
+		Workloads: []string{workloads[c.rng.Intn(len(workloads))]},
+		Schemes:   schemes, Seeds: seeds,
+		Cores: 2, Warmup: 100, Measure: 200,
+		Tenant: "chaos",
+	}
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(hs.URL+"/sweeps", "application/json",
+		strings.NewReader(string(body)))
+	if err != nil {
+		return // daemon mid-death: not acked, no obligation
+	}
+	var st SweepStatus
+	json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK {
+		if st.ID == "" {
+			c.t.Fatalf("sweep ack (%d) without id", resp.StatusCode)
+		}
+		c.ackedSweeps[st.ID] = true
 	}
 }
 
@@ -208,14 +258,19 @@ func (c *chaosTrial) stop(s *Server, hs *httptest.Server) {
 	}
 }
 
-// tearTail appends garbage to the WAL — a torn in-progress record. Synced
-// (acked) records all precede it, so this is exactly the tear a real
-// kill -9 can produce.
+// tearTail appends garbage to the newest WAL segment — a torn in-progress
+// record. Synced (acked) records all precede it, so this is exactly the
+// tear a real kill -9 can produce. Only the highest-index segment is a
+// legal target: sealed segments are never appended to.
 func (c *chaosTrial) tearTail() {
-	wal := filepath.Join(c.dir, "wal.log")
-	f, err := os.OpenFile(wal, os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
+	segs, _ := filepath.Glob(filepath.Join(c.dir, "wal-*.log"))
+	if len(segs) == 0 {
 		return // no WAL yet: nothing to tear
+	}
+	sort.Strings(segs) // zero-padded indices: lexicographic == numeric
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return
 	}
 	defer f.Close()
 	if c.rng.Intn(2) == 0 {
@@ -293,6 +348,64 @@ func (c *chaosTrial) adjudicate() (recovered, degraded int) {
 			break
 		}
 	}
+
+	// Every acked sweep must finish and serve a well-formed aggregate whose
+	// points are each done-with-result or failed with a typed kind.
+	for id := range c.ackedSweeps {
+		for {
+			resp, err := http.Get(hs.URL + "/sweeps/" + id)
+			if err != nil {
+				c.t.Fatalf("sweep status %s: %v", id, err)
+			}
+			var st SweepStatus
+			json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				c.t.Fatalf("LOST: acked sweep %s unknown after restart (%d)", id, resp.StatusCode)
+			}
+			if st.State != StateDone {
+				if st.State == StateFailed {
+					c.t.Fatalf("LOST: sweep %s failed outright (%s: %s)", id, st.FailKind, st.Error)
+				}
+				if time.Now().After(deadline) {
+					c.t.Fatalf("LOST: sweep %s stuck in %q after restart", id, st.State)
+				}
+				time.Sleep(2 * time.Millisecond)
+				continue
+			}
+			r2, err := http.Get(hs.URL + "/sweeps/" + id + "/result")
+			if err != nil || r2.StatusCode != http.StatusOK {
+				c.t.Fatalf("LOST: done sweep %s has no aggregate (err=%v)", id, err)
+			}
+			var art SweepArtifact
+			if err := json.NewDecoder(r2.Body).Decode(&art); err != nil || len(art.Points) == 0 {
+				c.t.Fatalf("LOST: sweep %s aggregate unreadable: %v", id, err)
+			}
+			r2.Body.Close()
+			for _, p := range art.Points {
+				switch p.State {
+				case StateDone:
+					if len(p.Result) == 0 {
+						c.t.Fatalf("LOST: sweep %s point %s/%s/%d done without result",
+							id, p.Workload, p.Scheme, p.Seed)
+					}
+					recovered++
+				case StateFailed:
+					switch p.FailKind {
+					case FailKindPanic, FailKindTimeout, FailKindCanceled, FailKindSim:
+						degraded++
+					default:
+						c.t.Fatalf("LOST: sweep %s point %s/%s/%d failed without a typed kind (%q)",
+							id, p.Workload, p.Scheme, p.Seed, p.FailKind)
+					}
+				default:
+					c.t.Fatalf("LOST: sweep %s settled with point %s/%s/%d in %q",
+						id, p.Workload, p.Scheme, p.Seed, p.State)
+				}
+			}
+			break
+		}
+	}
 	return recovered, degraded
 }
 
@@ -308,8 +421,9 @@ func TestChaosCampaign(t *testing.T) {
 			rng := rand.New(rand.NewSource(0xC4A05 + int64(i)))
 			trial := &chaosTrial{
 				t: t, rng: rng, dir: t.TempDir(),
-				sims:  newChaosSim(int64(i)),
-				acked: map[string]bool{},
+				sims:        newChaosSim(int64(i)),
+				acked:       map[string]bool{},
+				ackedSweeps: map[string]bool{},
 			}
 			// 1-2 rude lifecycles before the clean boot.
 			for phase := 0; phase <= rng.Intn(2); phase++ {

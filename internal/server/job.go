@@ -44,6 +44,17 @@ type JobSpec struct {
 	TimeoutSec int `json:"timeout_sec,omitempty"`
 	// Tenant attributes the job for quota accounting ("" = "default").
 	Tenant string `json:"tenant,omitempty"`
+	// Priority picks the scheduling class: interactive > batch >
+	// sweep-child ("" = batch). Scheduling metadata only — it does not
+	// participate in the job key, so resubmitting an experiment at a
+	// different priority joins the existing job rather than re-running it.
+	// Persisted with the spec, so a replayed job keeps its class.
+	Priority string `json:"priority,omitempty"`
+	// Trace records simulation events (internal/obs) during each scheme
+	// run; the per-job Chrome trace served at /jobs/{id}/trace then carries
+	// the cycle-stamped simulator events alongside the per-scheme job
+	// spans. Part of the job key: a traced run is a different artifact.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Normalize fills defaults in place and validates the spec against the
@@ -64,6 +75,15 @@ func (s *JobSpec) Normalize() error {
 	}
 	if s.Tenant == "" {
 		s.Tenant = "default"
+	}
+	if s.Priority == "" {
+		s.Priority = PriorityBatch
+	}
+	switch s.Priority {
+	case PriorityInteractive, PriorityBatch, PrioritySweepChild:
+	default:
+		return badRequest(fmt.Sprintf("unknown priority %q (want %s|%s|%s)",
+			s.Priority, PriorityInteractive, PriorityBatch, PrioritySweepChild))
 	}
 	if s.TimeoutSec < 0 {
 		return badRequest("timeout_sec must be >= 0")
@@ -110,6 +130,7 @@ func (s *JobSpec) Config(scheme string) sim.Config {
 	cfg.MeasureInstr = s.Measure
 	cfg.Seed = s.Seed
 	cfg.Shards = s.Shards
+	cfg.Trace = s.Trace
 	return cfg
 }
 
@@ -119,9 +140,11 @@ func (s *JobSpec) Config(scheme string) sim.Config {
 // (workload|scheme|variant). Identical specs — across requests, tenants,
 // and daemon restarts — share one key, one WAL entry, and one persistent
 // result; that is what makes repeated sweeps across restarts free.
+// Priority deliberately does not participate (scheduling metadata); Trace
+// does (a traced run is a different artifact).
 func (s *JobSpec) Key() string {
-	variant := fmt.Sprintf("c%d|w%d|m%d|s%d|sh%d|t%d",
-		s.Cores, s.Warmup, s.Measure, s.Seed, s.Shards, s.TimeoutSec)
+	variant := fmt.Sprintf("c%d|w%d|m%d|s%d|sh%d|t%d|tr%t",
+		s.Cores, s.Warmup, s.Measure, s.Seed, s.Shards, s.TimeoutSec, s.Trace)
 	h := sha256.Sum256([]byte(s.Workload + "|" + strings.Join(s.Schemes, ",") + "|" + variant))
 	return "j" + hex.EncodeToString(h[:8])
 }
@@ -131,8 +154,8 @@ func (s *JobSpec) Key() string {
 // (workload, scheme, variant) point run it once). Tenant and scheme-matrix
 // membership deliberately do not participate.
 func (s *JobSpec) SchemeKey(scheme string) string {
-	return fmt.Sprintf("%s|%s|c%d|w%d|m%d|s%d|sh%d",
-		s.Workload, scheme, s.Cores, s.Warmup, s.Measure, s.Seed, s.Shards)
+	return fmt.Sprintf("%s|%s|c%d|w%d|m%d|s%d|sh%d|tr%t",
+		s.Workload, scheme, s.Cores, s.Warmup, s.Measure, s.Seed, s.Shards, s.Trace)
 }
 
 // Job states. The daemon's crash-recovery state machine (DESIGN.md) allows
@@ -140,7 +163,10 @@ func (s *JobSpec) SchemeKey(scheme string) string {
 //
 //	accepted -> running -> done | failed
 //	accepted -> failed            (validation raced, drain cancellation)
-//	running  -> accepted          (crash or drain: replay re-enqueues)
+//	running  -> accepted          (crash or drain: replay re-enqueues;
+//	                               or a store write failed mid-settlement:
+//	                               the quota unit is released and the job
+//	                               re-enqueues in-process with backoff)
 const (
 	StateAccepted = "accepted" // WAL accept record fsync'd; queued or re-queued
 	StateRunning  = "running"  // a worker holds it (not persisted: crash => accepted)
@@ -164,6 +190,7 @@ type JobStatus struct {
 	Tenant   string   `json:"tenant,omitempty"`
 	Workload string   `json:"workload"`
 	Schemes  []string `json:"schemes"`
+	Priority string   `json:"priority,omitempty"`
 	// SchemesDone counts completed matrix points (progress).
 	SchemesDone int    `json:"schemes_done"`
 	FailKind    string `json:"fail_kind,omitempty"`
@@ -177,7 +204,7 @@ type JobStatus struct {
 // point) and fanned out to live subscribers.
 type Event struct {
 	Seq  int    `json:"seq"`
-	Kind string `json:"kind"` // accepted|queued|started|scheme|retry|replayed|done|failed
+	Kind string `json:"kind"` // accepted|queued|started|scheme|retry|replayed|requeued|canceled|done|failed
 	Msg  string `json:"msg,omitempty"`
 }
 
@@ -192,6 +219,7 @@ type job struct {
 	failKind    string
 	errMsg      string
 	replayed    bool
+	requeues    int // in-process settlement retries (backoff exponent)
 	events      []Event
 	subs        map[chan Event]struct{} // live SSE subscribers
 	done        chan struct{}           // closed on done/failed
@@ -205,9 +233,15 @@ func newJob(id string, spec JobSpec) *job {
 
 // emit appends one event to the backlog and notifies live subscribers.
 // Slow subscribers are skipped, never blocked on: the backlog is the
-// source of truth and a reconnect replays it.
+// source of truth and a reconnect (or the gap-heal in handleEvents)
+// replays it.
 func (j *job) emit(kind, msg string) {
 	j.mu.Lock()
+	j.emitLocked(kind, msg)
+	j.mu.Unlock()
+}
+
+func (j *job) emitLocked(kind, msg string) {
 	ev := Event{Seq: len(j.events) + 1, Kind: kind, Msg: msg}
 	j.events = append(j.events, ev)
 	for ch := range j.subs {
@@ -216,10 +250,15 @@ func (j *job) emit(kind, msg string) {
 		default:
 		}
 	}
-	j.mu.Unlock()
 }
 
-// finish moves the job to a terminal state exactly once.
+// finish moves the job to a terminal state exactly once. The terminal
+// event is appended to the backlog in the same critical section that
+// closes j.done: an SSE handler waking on <-j.done is therefore
+// guaranteed to find the done/failed event in backlogAfter, however the
+// wakeup races the emit. (Emitting after the close — the old order — let
+// a handler read the backlog in the window between close and append and
+// end the stream without ever delivering the terminal event.)
 func (j *job) finish(state, failKind, errMsg string) {
 	j.mu.Lock()
 	if j.state == StateDone || j.state == StateFailed {
@@ -229,13 +268,13 @@ func (j *job) finish(state, failKind, errMsg string) {
 	j.state = state
 	j.failKind = failKind
 	j.errMsg = errMsg
+	if state == StateDone {
+		j.emitLocked("done", "")
+	} else {
+		j.emitLocked("failed", failKind+": "+errMsg)
+	}
 	close(j.done)
 	j.mu.Unlock()
-	if state == StateDone {
-		j.emit("done", "")
-	} else {
-		j.emit("failed", failKind+": "+errMsg)
-	}
 }
 
 // subscribe registers a live event channel and returns the backlog events
@@ -280,6 +319,7 @@ func (j *job) status() JobStatus {
 		Tenant:      j.spec.Tenant,
 		Workload:    j.spec.Workload,
 		Schemes:     append([]string(nil), j.spec.Schemes...),
+		Priority:    j.spec.Priority,
 		SchemesDone: j.schemesDone,
 		FailKind:    j.failKind,
 		Error:       j.errMsg,

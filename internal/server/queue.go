@@ -5,38 +5,91 @@ import (
 	"sync"
 )
 
+// Scheduling classes, highest priority first. The queue serves classes
+// strictly in this order (FIFO within a class) except for the aging rule
+// below, which keeps the lowest class starvation-free under a steady
+// interactive load.
+const (
+	classInteractive = iota
+	classBatch
+	classSweepChild
+	numClasses
+)
+
+// Priority names accepted in JobSpec.Priority.
+const (
+	PriorityInteractive = "interactive"
+	PriorityBatch       = "batch"
+	PrioritySweepChild  = "sweep-child"
+)
+
+// classOf maps a normalized priority name to its class. Unknown names map
+// to batch — Normalize rejects them before they can reach the queue, so
+// this is belt-and-braces for replayed pre-priority WAL specs ("").
+func classOf(priority string) int {
+	switch priority {
+	case PriorityInteractive:
+		return classInteractive
+	case PrioritySweepChild:
+		return classSweepChild
+	default:
+		return classBatch
+	}
+}
+
+// agingEvery is the anti-starvation cadence: every agingEvery-th dequeue
+// serves the globally oldest waiting job regardless of class. Any job is
+// eventually the global oldest, so no class can be starved by a steady
+// stream of higher-priority arrivals; between aging ticks strict priority
+// order applies.
+const agingEvery = 4
+
+// queueItem is one waiting job plus its global arrival sequence (the
+// aging key and the within-class FIFO order).
+type queueItem struct {
+	j   *job
+	seq uint64
+}
+
 // Queue is the bounded admission queue between the HTTP layer and the
-// worker loops. Admission is two-phase so the durable accept sits between
-// them: Reserve checks backpressure and per-tenant quota (typed 429/503
-// rejections, no side effects on disk), the caller then writes the WAL
-// accept record, and Commit hands the job to a worker. A failed WAL write
-// releases the reservation with Abort. The channel is the queue; its
-// capacity is fixed at construction, and Reserve's count check under the
-// mutex guarantees Commit never blocks.
+// worker loops: a three-class priority queue (interactive > batch >
+// sweep-child, FIFO within a class, aging every agingEvery dequeues)
+// behind the same two-phase admission protocol as before. Reserve checks
+// backpressure and per-tenant quota (typed 429/503 rejections, no side
+// effects on disk), the caller then writes the WAL accept record, and
+// Commit hands the job to a worker; a failed WAL write releases the
+// reservation with Abort. Commit is a slice append under the mutex and
+// never blocks — Reserve's count check is what bounds the queue, and
+// EnqueueReplayed (durably-accepted work that must not be rejectable)
+// simply bypasses that check.
 type Queue struct {
 	mu        sync.Mutex
+	cond      *sync.Cond
 	capacity  int
 	perTenant int            // 0 = unlimited
 	counts    map[string]int // reserved+queued+running jobs per tenant
-	queued    int            // reservations not yet released by a worker pickup
+	queued    int            // reservations not yet handed to a worker
 	draining  bool
-	ch        chan *job
+	ready     [numClasses][]queueItem
+	seq       uint64 // next arrival sequence
+	dequeues  uint64 // served so far (drives the aging cadence)
 }
 
-// NewQueue builds a queue holding at most capacity jobs with at most
-// perTenant jobs (queued or running) per tenant; extra is additional
-// channel headroom for WAL-replayed jobs, which bypass admission — they
-// were durably accepted before the restart and must not be rejectable.
-func NewQueue(capacity, perTenant, extra int) *Queue {
+// NewQueue builds a queue holding at most capacity admission-controlled
+// jobs with at most perTenant jobs (queued or running) per tenant.
+// WAL-replayed jobs and sweep children enter via EnqueueReplayed and are
+// not counted against capacity.
+func NewQueue(capacity, perTenant int) *Queue {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Queue{
+	q := &Queue{
 		capacity:  capacity,
 		perTenant: perTenant,
 		counts:    make(map[string]int),
-		ch:        make(chan *job, capacity+extra),
 	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
 }
 
 // Reserve claims a queue slot and a tenant quota unit, or returns a typed
@@ -61,8 +114,13 @@ func (q *Queue) Reserve(tenant string) error {
 	return nil
 }
 
-// Commit enqueues a reserved job. The reservation guarantees space.
-func (q *Queue) Commit(j *job) { q.ch <- j }
+// Commit enqueues a reserved job in its spec's class. Never blocks.
+func (q *Queue) Commit(j *job) {
+	q.mu.Lock()
+	q.pushLocked(j)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
 
 // Abort releases a reservation whose durable accept failed.
 func (q *Queue) Abort(tenant string) {
@@ -72,23 +130,80 @@ func (q *Queue) Abort(tenant string) {
 	q.mu.Unlock()
 }
 
-// EnqueueReplayed admits a WAL-replayed job outside the admission caps
-// (it was already acknowledged in a previous life; rejection is not an
-// option). Quota accounting still tracks it so new submissions see the
-// true tenant load.
+// EnqueueReplayed admits a job outside the admission caps: WAL-replayed
+// jobs (already acknowledged in a previous life), sweep children (fanned
+// out under one durable sweep record), and store-failure re-enqueues.
+// Rejection is not an option for any of them. Quota accounting still
+// tracks the job so new submissions see the true tenant load.
 func (q *Queue) EnqueueReplayed(j *job) {
 	q.mu.Lock()
 	q.queued++
 	q.counts[j.spec.Tenant]++
+	q.pushLocked(j)
 	q.mu.Unlock()
-	q.ch <- j
+	q.cond.Signal()
 }
 
-// Dequeued marks a job picked up by a worker: its queue slot frees for
+func (q *Queue) pushLocked(j *job) {
+	c := classOf(j.spec.Priority)
+	q.ready[c] = append(q.ready[c], queueItem{j: j, seq: q.seq})
+	q.seq++
+}
+
+// Dequeue blocks until a job is ready (returning it with ok=true) or
+// until stop returns true (ok=false). Stop is polled on every wakeup;
+// pair it with Wake (e.g. context.AfterFunc(ctx, q.Wake)) so cancellation
+// interrupts the wait promptly. The handed-out job's queue slot frees for
 // new admissions (the tenant quota unit stays held until Release).
-func (q *Queue) Dequeued() {
+func (q *Queue) Dequeue(stop func() bool) (*job, bool) {
 	q.mu.Lock()
-	q.queued--
+	defer q.mu.Unlock()
+	for {
+		if stop() {
+			return nil, false
+		}
+		if j := q.popLocked(); j != nil {
+			q.queued--
+			return j, true
+		}
+		q.cond.Wait()
+	}
+}
+
+// popLocked picks the next job: strict class priority, FIFO within the
+// class — except every agingEvery-th dequeue, which serves the globally
+// oldest waiting job so the sweep-child class cannot starve.
+func (q *Queue) popLocked() *job {
+	pick := -1
+	if q.dequeues%agingEvery == agingEvery-1 {
+		var oldest uint64
+		for c := 0; c < numClasses; c++ {
+			if len(q.ready[c]) > 0 && (pick < 0 || q.ready[c][0].seq < oldest) {
+				pick, oldest = c, q.ready[c][0].seq
+			}
+		}
+	} else {
+		for c := 0; c < numClasses; c++ {
+			if len(q.ready[c]) > 0 {
+				pick = c
+				break
+			}
+		}
+	}
+	if pick < 0 {
+		return nil
+	}
+	it := q.ready[pick][0]
+	q.ready[pick] = q.ready[pick][1:]
+	q.dequeues++
+	return it.j
+}
+
+// Wake broadcasts to blocked Dequeue callers so they re-check their stop
+// condition (drain/shutdown).
+func (q *Queue) Wake() {
+	q.mu.Lock()
+	q.cond.Broadcast()
 	q.mu.Unlock()
 }
 
@@ -106,10 +221,7 @@ func (q *Queue) decTenant(tenant string) {
 	}
 }
 
-// Chan is the worker intake.
-func (q *Queue) Chan() <-chan *job { return q.ch }
-
-// Depth reports jobs queued and not yet picked up.
+// Depth reports jobs queued and not yet picked up (reservations included).
 func (q *Queue) Depth() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -122,6 +234,7 @@ func (q *Queue) SetDraining(v bool) {
 	q.mu.Lock()
 	q.draining = v
 	q.mu.Unlock()
+	q.cond.Broadcast()
 }
 
 // Tenants snapshots current per-tenant load (observability endpoint).

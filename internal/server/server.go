@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -20,14 +21,15 @@ import (
 // Config configures a daemon instance. The zero value of an optional
 // field selects the documented default.
 type Config struct {
-	Dir         string        // job-store directory (required)
-	Workers     int           // concurrent jobs (default 1; each job runs its schemes via the exec pool)
-	Parallel    int           // exec pool size for scheme simulations (default GOMAXPROCS)
-	QueueCap    int           // max jobs waiting for a worker (default 64)
-	TenantQuota int           // max queued+running jobs per tenant (0 = unlimited)
-	JobTimeout  time.Duration // default per-scheme deadline (0 = none; spec may override)
-	Retries     int           // attempts per scheme for retryable failures (default 1)
-	Backoff     time.Duration // base jittered backoff between retries (default 100ms)
+	Dir          string        // job-store directory (required)
+	Workers      int           // concurrent jobs (default 1; each job runs its schemes via the exec pool)
+	Parallel     int           // exec pool size for scheme simulations (default GOMAXPROCS)
+	QueueCap     int           // max jobs waiting for a worker (default 64)
+	TenantQuota  int           // max queued+running jobs per tenant (0 = unlimited)
+	JobTimeout   time.Duration // default per-scheme deadline (0 = none; spec may override)
+	Retries      int           // attempts per scheme for retryable failures (default 1)
+	Backoff      time.Duration // base jittered backoff between retries (default 100ms)
+	SegmentBytes int64         // WAL segment rotation threshold (default DefaultSegmentBytes)
 	// RunSim is the simulation entry point (nil = sim.RunContext). Tests
 	// substitute fakes and fault injectors; it must be set here — not
 	// after New — because recovery may hand replayed jobs to workers
@@ -51,8 +53,9 @@ type SchemeResult struct {
 	Result *sim.Result `json:"result"`
 }
 
-// Server is the simulation service: durable intake, bounded queue,
-// pooled execution, SSE progress, and failure-first shutdown.
+// Server is the simulation service: durable intake, bounded priority
+// queue, pooled execution, sweep fan-out, SSE progress, and
+// failure-first shutdown.
 type Server struct {
 	cfg   Config
 	store *Store
@@ -63,9 +66,11 @@ type Server struct {
 	// above the on-disk result cache.
 	flights *exec.Cache[*sim.Result]
 
-	mu    sync.Mutex
-	jobs  map[string]*job
-	order []string
+	mu         sync.Mutex
+	jobs       map[string]*job
+	order      []string
+	sweeps     map[string]*sweep
+	sweepOrder []string
 
 	baseCtx    context.Context // cancelled on drain: running sims stop at their next barrier
 	cancelRuns context.CancelFunc
@@ -84,15 +89,20 @@ type Server struct {
 // race-free against the serving hot path (obs.Registry's documented
 // contract for concurrent scraping).
 type metrics struct {
-	accepted  atomic.Uint64 // jobs durably accepted
-	dedup     atomic.Uint64 // submissions answered by an existing job
-	rejected  atomic.Uint64 // typed 429/503 rejections
-	completed atomic.Uint64 // jobs finished ok
-	failed    atomic.Uint64 // jobs finished with a typed failure
-	replayed  atomic.Uint64 // jobs re-enqueued from the WAL at boot
-	retried   atomic.Uint64 // per-scheme retry attempts
-	cacheHits atomic.Uint64 // jobs served from the persistent result cache
-	inflight  atomic.Uint64 // jobs a worker currently holds
+	accepted     atomic.Uint64 // jobs durably accepted
+	dedup        atomic.Uint64 // submissions answered by an existing job
+	rejected     atomic.Uint64 // typed 429/503 rejections
+	completed    atomic.Uint64 // jobs finished ok
+	failed       atomic.Uint64 // jobs finished with a typed failure
+	replayed     atomic.Uint64 // jobs re-enqueued from the WAL at boot
+	recovered    atomic.Uint64 // jobs completed at boot from an existing artifact (no re-run)
+	retried      atomic.Uint64 // per-scheme retry attempts
+	cacheHits    atomic.Uint64 // jobs served from the persistent result cache
+	inflight     atomic.Uint64 // jobs a worker currently holds
+	simsRun      atomic.Uint64 // actual simulator invocations (the duplicate-work proof metric)
+	storeRetries atomic.Uint64 // settlements re-tried in-process after a transient store failure
+	sweeps       atomic.Uint64 // sweeps durably accepted
+	sweepsDone   atomic.Uint64 // sweeps aggregated and settled
 }
 
 // New opens the store, replays the WAL (re-enqueueing interrupted work),
@@ -101,7 +111,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Dir == "" {
 		return nil, errors.New("server: Config.Dir is required")
 	}
-	store, err := OpenStore(cfg.Dir)
+	store, err := OpenStoreSegmented(cfg.Dir, cfg.SegmentBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -124,22 +134,16 @@ func newFromStore(cfg Config, store *Store) (*Server, error) {
 	if cfg.Backoff <= 0 {
 		cfg.Backoff = 100 * time.Millisecond
 	}
-	stored := store.Jobs()
-	pending := 0
-	for _, sj := range stored {
-		if sj.State == StateAccepted {
-			pending++
-		}
-	}
 	ctx, cancel := context.WithCancel(context.Background())
 	pool := exec.NewPool(cfg.Parallel)
 	s := &Server{
 		cfg:        cfg,
 		store:      store,
-		queue:      NewQueue(cfg.QueueCap, cfg.TenantQuota, pending),
+		queue:      NewQueue(cfg.QueueCap, cfg.TenantQuota),
 		pool:       pool,
 		flights:    exec.NewCache[*sim.Result](pool),
 		jobs:       make(map[string]*job),
+		sweeps:     make(map[string]*sweep),
 		baseCtx:    ctx,
 		cancelRuns: cancel,
 		reg:        obs.NewRegistry(),
@@ -148,13 +152,17 @@ func newFromStore(cfg Config, store *Store) (*Server, error) {
 	if s.runSim == nil {
 		s.runSim = sim.RunContext
 	}
+	// Workers block in Queue.Dequeue on a condvar; make cancellation wake
+	// them so drain never waits on an idle worker.
+	context.AfterFunc(ctx, s.queue.Wake)
 	s.registerMetrics()
 
 	// Recovery: every stored job becomes an in-memory record; interrupted
-	// ones re-enter the queue. A pending job whose result artifact already
-	// landed (crash between SaveResult and the done record) completes
-	// without re-running — the artifact is whole by construction.
-	for _, sj := range stored {
+	// ones re-enter the queue (their persisted spec keeps their priority
+	// class). A pending job whose result artifact already landed (crash
+	// between SaveResult and the done record) completes without re-running
+	// — the artifact is whole by construction.
+	for _, sj := range store.Jobs() {
 		j := newJob(sj.ID, sj.Spec)
 		s.jobs[sj.ID] = j
 		s.order = append(s.order, sj.ID)
@@ -173,12 +181,57 @@ func newFromStore(cfg Config, store *Store) (*Server, error) {
 					j.state = StateDone
 					close(j.done)
 					j.emit("done", "recovered: artifact found on replay")
+					s.m.recovered.Add(1)
 					continue
 				}
 			}
 			j.emit("replayed", "re-enqueued after restart")
 			s.m.replayed.Add(1)
 			s.queue.EnqueueReplayed(j)
+		}
+	}
+	// Sweep recovery (after jobs: children are ordinary jobs and most were
+	// just handled above). An unfinished sweep gets its coordinator back;
+	// any child missing from the store (torn fan-out batch) is re-accepted
+	// — the fan-out is a deterministic function of the sweep spec.
+	for _, ss := range store.Sweeps() {
+		ids, specs := ss.Spec.children()
+		sw := newSweep(ss.ID, ss.Spec, ids)
+		s.sweeps[ss.ID] = sw
+		s.sweepOrder = append(s.sweepOrder, ss.ID)
+		switch ss.State {
+		case StateDone:
+			sw.state = StateDone
+			close(sw.done)
+		case StateFailed:
+			sw.state, sw.failKind, sw.errMsg = StateFailed, ss.FailKind, ss.Error
+			close(sw.done)
+		case StateAccepted:
+			if store.HasResult(ss.ID) {
+				if err := store.CompleteOK(ss.ID); err == nil {
+					sw.state = StateDone
+					close(sw.done)
+					s.m.recovered.Add(1)
+					continue
+				}
+			}
+			for i, cid := range ids {
+				if _, ok := s.jobs[cid]; ok {
+					continue
+				}
+				if err := store.Accept(cid, specs[i]); err != nil {
+					continue // store wedged; the sweep settles on a later boot
+				}
+				cj := newJob(cid, specs[i])
+				cj.replayed = true
+				s.jobs[cid] = cj
+				s.order = append(s.order, cid)
+				cj.emit("replayed", "sweep child re-accepted after restart")
+				s.m.replayed.Add(1)
+				s.queue.EnqueueReplayed(cj)
+			}
+			s.workers.Add(1)
+			go s.sweepCoordinator(sw)
 		}
 	}
 	for i := 0; i < cfg.Workers; i++ {
@@ -197,8 +250,13 @@ func (s *Server) registerMetrics() {
 	c("ptmcd.jobs_completed", s.m.completed.Load)
 	c("ptmcd.jobs_failed", s.m.failed.Load)
 	c("ptmcd.jobs_replayed", s.m.replayed.Load)
+	c("ptmcd.jobs_recovered", s.m.recovered.Load)
 	c("ptmcd.scheme_retries", s.m.retried.Load)
 	c("ptmcd.result_cache_hits", s.m.cacheHits.Load)
+	c("ptmcd.sims_run", s.m.simsRun.Load)
+	c("ptmcd.store_retries", s.m.storeRetries.Load)
+	c("ptmcd.sweeps_accepted", s.m.sweeps.Load)
+	c("ptmcd.sweeps_completed", s.m.sweepsDone.Load)
 	g("ptmcd.jobs_inflight", s.m.inflight.Load)
 	g("ptmcd.queue_depth", func() uint64 { return uint64(s.queue.Depth()) })
 	g("ptmcd.draining", func() uint64 {
@@ -209,19 +267,20 @@ func (s *Server) registerMetrics() {
 	})
 	c("ptmcd.wal_replayed_records", func() uint64 { return uint64(s.store.Replayed) })
 	c("ptmcd.wal_truncated_bytes", func() uint64 { return uint64(s.store.Truncated) })
+	g("ptmcd.wal_segments", func() uint64 { return uint64(s.store.Segments()) })
+	c("ptmcd.wal_compacted_segments", func() uint64 { return uint64(s.store.CompactedSegments()) })
 }
 
-// worker pulls jobs until drain.
+// worker pulls jobs in priority order until drain.
 func (s *Server) worker() {
 	defer s.workers.Done()
+	stop := func() bool { return s.baseCtx.Err() != nil }
 	for {
-		select {
-		case <-s.baseCtx.Done():
+		j, ok := s.queue.Dequeue(stop)
+		if !ok {
 			return
-		case j := <-s.queue.Chan():
-			s.queue.Dequeued()
-			s.runJob(j)
 		}
+		s.runJob(j)
 	}
 }
 
@@ -231,7 +290,8 @@ func (s *Server) runJob(j *job) {
 	defer s.m.inflight.Add(^uint64(0))
 
 	// Served from the persistent result cache: repeated sweeps across
-	// restarts are free.
+	// restarts are free. (The original run's trace artifact, if any, is
+	// already on disk too.)
 	if s.store.HasResult(j.id) {
 		s.m.cacheHits.Add(1)
 		if err := s.store.CompleteOK(j.id); err != nil {
@@ -253,10 +313,17 @@ func (s *Server) runJob(j *job) {
 	if j.spec.TimeoutSec > 0 {
 		timeout = time.Duration(j.spec.TimeoutSec) * time.Second
 	}
+	// Per-job tracer: one KindJob span per scheme (wall µs, tid = matrix
+	// index), plus the simulator's own cycle-stamped events when the spec
+	// asked for them. Persisted best-effort after settlement.
+	start := time.Now()
+	tracer := obs.NewTracer(1 << 16)
+	var simEvents []obs.Event
 	art := ResultArtifact{ID: j.id, Spec: j.spec}
-	for _, scheme := range j.spec.Schemes {
+	for i, scheme := range j.spec.Schemes {
 		scheme := scheme
 		tries := 0
+		t0 := time.Now()
 		res, _, err := s.flights.DoJob(s.baseCtx, j.spec.SchemeKey(scheme),
 			exec.JobOptions{Timeout: timeout, Attempts: s.cfg.Retries, Backoff: s.cfg.Backoff},
 			func(ctx context.Context) (*sim.Result, error) {
@@ -264,11 +331,17 @@ func (s *Server) runJob(j *job) {
 					s.m.retried.Add(1)
 					j.emit("retry", fmt.Sprintf("%s attempt %d", scheme, tries))
 				}
+				s.m.simsRun.Add(1)
 				return s.runSim(ctx, j.spec.Config(scheme))
 			})
 		if err != nil {
 			s.settleFailure(j, scheme, err)
 			return
+		}
+		tracer.Emit(obs.KindJob, t0.Sub(start).Microseconds(),
+			time.Since(t0).Microseconds()+1, i, 0, int64(tries))
+		if j.spec.Trace && res != nil {
+			simEvents = append(simEvents, res.TraceEvents...)
 		}
 		art.Results = append(art.Results, SchemeResult{Scheme: scheme, Result: res})
 		j.mu.Lock()
@@ -289,9 +362,20 @@ func (s *Server) runJob(j *job) {
 		s.leaveForReplay(j, err)
 		return
 	}
+	s.saveTrace(j.id, append(tracer.Events(), simEvents...))
 	s.m.completed.Add(1)
 	s.queue.Release(j.spec.Tenant)
 	j.finish(StateDone, "", "")
+}
+
+// saveTrace persists the job's Chrome-trace artifact. Best effort: traces
+// are observability, not part of the durability contract.
+func (s *Server) saveTrace(id string, events []obs.Event) {
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, events); err != nil {
+		return
+	}
+	_ = s.store.SaveTrace(id, buf.Bytes())
 }
 
 // settleFailure classifies a scheme failure and persists the typed
@@ -323,19 +407,141 @@ func (s *Server) settleFailure(j *job, scheme string, err error) {
 	j.finish(StateFailed, kind, msg)
 }
 
-// leaveForReplay handles a store write failing mid-settlement (injected
-// crash, disk error): the job keeps its durable accepted state and the
-// next boot replays it. Nothing is acknowledged that is not on disk.
+// leaveForReplay handles a store write failing mid-settlement. Two cases:
+//
+// Dead store or drain: the injected-crash/shutdown path. The job keeps
+// its durable accepted state and the NEXT BOOT replays it — nothing is
+// acknowledged that is not on disk.
+//
+// Transient failure (live store, live server): the job must not become a
+// zombie. It moves back to accepted (the state machine's running →
+// accepted retry edge), the tenant's quota unit is released so the
+// tenant is not throttled by a job nobody is running, and a backoff
+// goroutine re-enqueues it for in-process retry — EnqueueReplayed
+// re-claims the quota unit, so accounting stays balanced. If drain wins
+// the race the job is simply left accepted for the next boot.
 func (s *Server) leaveForReplay(j *job, err error) {
-	j.emit("canceled", fmt.Sprintf("store unavailable (%v); job will replay", err))
+	if s.baseCtx.Err() != nil || errors.Is(err, ErrStoreDead) {
+		j.emit("canceled", fmt.Sprintf("store unavailable (%v); job will replay", err))
+		return
+	}
+	j.mu.Lock()
+	j.state = StateAccepted
+	j.schemesDone = 0
+	j.requeues++
+	n := j.requeues
+	j.mu.Unlock()
+	s.queue.Release(j.spec.Tenant)
+	s.m.storeRetries.Add(1)
+	j.emit("requeued", fmt.Sprintf("store write failed (%v); retrying in-process", err))
+	backoff := s.cfg.Backoff
+	for i := 1; i < n && backoff < 5*time.Second; i++ {
+		backoff *= 2
+	}
+	if backoff > 5*time.Second {
+		backoff = 5 * time.Second
+	}
+	s.workers.Add(1)
+	go func() {
+		defer s.workers.Done()
+		select {
+		case <-time.After(backoff):
+			s.queue.EnqueueReplayed(j)
+		case <-s.baseCtx.Done():
+			// Drain: the job stays accepted in the WAL; next boot replays it.
+		}
+	}()
+}
+
+// sweepCoordinator waits for every child to settle, then aggregates the
+// child artifacts (read back from disk, so a resumed sweep aggregates
+// byte-identically) into the sweep artifact and settles the sweep. Child
+// failures become per-point failures in the artifact; the sweep itself
+// still settles done — degraded, never silent. A transient store failure
+// retries with backoff; drain leaves the sweep accepted for the next
+// boot.
+func (s *Server) sweepCoordinator(sw *sweep) {
+	defer s.workers.Done()
+	for _, cid := range sw.children {
+		j := s.lookup(cid)
+		if j == nil {
+			continue // recorded as a failed point at aggregation
+		}
+		select {
+		case <-j.done:
+		case <-s.baseCtx.Done():
+			return // drain: sweep stays accepted; the next boot resumes it
+		}
+	}
+	data := canonicalJSON(s.buildSweepArtifact(sw))
+	backoff := s.cfg.Backoff
+	for {
+		if s.baseCtx.Err() != nil {
+			return
+		}
+		err := s.store.SaveResult(sw.id, data)
+		if err == nil {
+			err = s.store.CompleteOK(sw.id)
+		}
+		if err == nil {
+			break
+		}
+		if errors.Is(err, ErrStoreDead) {
+			return
+		}
+		s.m.storeRetries.Add(1)
+		select {
+		case <-time.After(backoff):
+		case <-s.baseCtx.Done():
+			return
+		}
+		if backoff *= 2; backoff > 5*time.Second {
+			backoff = 5 * time.Second
+		}
+	}
+	s.m.sweepsDone.Add(1)
+	sw.finish(StateDone, "", "")
+}
+
+// buildSweepArtifact assembles the aggregate in deterministic matrix
+// order from the children's terminal states and on-disk artifacts.
+func (s *Server) buildSweepArtifact(sw *sweep) SweepArtifact {
+	art := SweepArtifact{ID: sw.id, Spec: sw.spec}
+	idx := 0
+	for _, w := range sw.spec.Workloads {
+		for _, sc := range sw.spec.Schemes {
+			for _, sd := range sw.spec.Seeds {
+				cid := sw.children[idx]
+				idx++
+				p := SweepPoint{Workload: w, Scheme: sc, Seed: sd, JobID: cid}
+				j := s.lookup(cid)
+				if j == nil {
+					p.State, p.FailKind, p.Error = StateFailed, "internal", "child job missing"
+				} else {
+					st := j.status()
+					p.State, p.FailKind, p.Error = st.State, st.FailKind, st.Error
+					if st.State == StateDone {
+						if data, err := s.store.Result(cid); err == nil {
+							p.Result = json.RawMessage(data)
+						} else {
+							p.State, p.FailKind, p.Error = StateFailed, "artifact", err.Error()
+						}
+					}
+				}
+				art.Points = append(art.Points, p)
+			}
+		}
+	}
+	return art
 }
 
 // Drain is the graceful-shutdown path: stop accepting (readyz and POST
 // /jobs flip to 503), cancel in-flight runs — sim.RunContext returns at
-// its next epoch barrier / cycle checkpoint — wait for the workers,
-// checkpoint the queue, and close the store. Interrupted jobs stay
-// accepted in the WAL; the next boot replays them. Returns nil on a clean
-// drain; ctx bounds how long to wait for workers.
+// its next epoch barrier / cycle checkpoint — wait for the workers (and
+// sweep coordinators and requeue timers), checkpoint the queue, and close
+// the store. Interrupted jobs stay accepted in the WAL; the next boot
+// replays them. Returns nil on a clean drain; ctx bounds how long to wait
+// for workers.
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
 	s.queue.SetDraining(true)
@@ -365,6 +571,27 @@ func (s *Server) lookup(id string) *job {
 	return s.jobs[id]
 }
 
+func (s *Server) lookupSweep(id string) *sweep {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sweeps[id]
+}
+
+// sweepStatus snapshots a sweep including its children's progress.
+func (s *Server) sweepStatus(sw *sweep) SweepStatus {
+	s.mu.Lock()
+	pointsDone := 0
+	for _, cid := range sw.children {
+		if j := s.jobs[cid]; j != nil {
+			if st := j.status(); st.State == StateDone || st.State == StateFailed {
+				pointsDone++
+			}
+		}
+	}
+	s.mu.Unlock()
+	return sw.status(pointsDone)
+}
+
 // Handler returns the HTTP API.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -372,7 +599,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("POST /sweeps", s.handleSweepSubmit)
+	mux.HandleFunc("GET /sweeps", s.handleSweepList)
+	mux.HandleFunc("GET /sweeps/{id}", s.handleSweepStatus)
+	mux.HandleFunc("GET /sweeps/{id}/result", s.handleSweepResult)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok\n")
 	})
@@ -459,6 +691,123 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, j.status())
 }
 
+// handleSweepSubmit accepts a sweep: one durable batched WAL append
+// covers the sweep record and every child job the matrix fans out to
+// (existing child keys dedupe — that is the whole resume story), then the
+// children enter the queue at sweep-child priority and a coordinator
+// goroutine waits to aggregate. Children bypass the admission cap — the
+// sweep record is their durable admission — but still count toward the
+// tenant's quota so interactive submissions see the true load.
+func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec SweepSpec
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(body).Decode(&spec); err != nil {
+		s.reject(w, badRequest("invalid JSON: "+err.Error()))
+		return
+	}
+	if err := spec.Normalize(); err != nil {
+		s.reject(w, err)
+		return
+	}
+	id := spec.Key()
+	if sw := s.lookupSweep(id); sw != nil {
+		s.m.dedup.Add(1)
+		writeJSON(w, http.StatusOK, s.sweepStatus(sw))
+		return
+	}
+	if s.draining.Load() {
+		s.reject(w, &APIError{Code: 503, Reason: "draining",
+			Msg: "server is draining; resubmit after restart"})
+		return
+	}
+	ids, specs := spec.children()
+	if err := s.store.AcceptSweep(id, spec, ids, specs); err != nil {
+		s.reject(w, &APIError{Code: 503, Reason: "store",
+			Msg: "durable accept failed: " + err.Error()})
+		return
+	}
+	sw := newSweep(id, spec, ids)
+	s.mu.Lock()
+	if prior, ok := s.sweeps[id]; ok {
+		s.mu.Unlock()
+		s.m.dedup.Add(1)
+		writeJSON(w, http.StatusOK, s.sweepStatus(prior))
+		return
+	}
+	s.sweeps[id] = sw
+	s.sweepOrder = append(s.sweepOrder, id)
+	var fresh []*job
+	for i, cid := range ids {
+		if _, ok := s.jobs[cid]; ok {
+			continue // point already known (prior job or overlapping sweep)
+		}
+		cj := newJob(cid, specs[i])
+		s.jobs[cid] = cj
+		s.order = append(s.order, cid)
+		fresh = append(fresh, cj)
+	}
+	s.mu.Unlock()
+	for _, cj := range fresh {
+		cj.emit("accepted", "sweep "+id)
+		s.queue.EnqueueReplayed(cj)
+		cj.emit("queued", "")
+	}
+	s.m.sweeps.Add(1)
+	s.workers.Add(1)
+	go s.sweepCoordinator(sw)
+	writeJSON(w, http.StatusAccepted, s.sweepStatus(sw))
+}
+
+func (s *Server) handleSweepList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	sws := make([]*sweep, 0, len(s.sweepOrder))
+	for _, id := range s.sweepOrder {
+		sws = append(sws, s.sweeps[id])
+	}
+	s.mu.Unlock()
+	out := make([]SweepStatus, 0, len(sws))
+	for _, sw := range sws {
+		out = append(out, s.sweepStatus(sw))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleSweepStatus(w http.ResponseWriter, r *http.Request) {
+	sw := s.lookupSweep(r.PathValue("id"))
+	if sw == nil {
+		writeJSON(w, http.StatusNotFound, &APIError{Reason: "unknown_sweep", Msg: "no such sweep"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.sweepStatus(sw))
+}
+
+func (s *Server) handleSweepResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sw := s.lookupSweep(id)
+	if sw == nil {
+		writeJSON(w, http.StatusNotFound, &APIError{Reason: "unknown_sweep", Msg: "no such sweep"})
+		return
+	}
+	st := s.sweepStatus(sw)
+	switch st.State {
+	case StateFailed:
+		writeJSON(w, http.StatusConflict, &APIError{Reason: "sweep_failed",
+			Msg: st.FailKind + ": " + st.Error})
+	case StateDone:
+		data, err := s.store.Result(id)
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError,
+				&APIError{Reason: "artifact", Msg: err.Error()})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	default:
+		writeJSON(w, http.StatusNotFound, &APIError{Reason: "not_finished",
+			Msg: fmt.Sprintf("sweep is %s (%d/%d points)", st.State, st.PointsDone, st.Points)})
+	}
+}
+
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	out := make([]JobStatus, 0, len(s.order))
@@ -505,6 +854,26 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, &APIError{Reason: "not_finished",
 			Msg: "job is " + st.State})
 	}
+}
+
+// handleTrace serves the job's Chrome-trace artifact (open in
+// chrome://tracing or Perfetto). A job served from the persistent result
+// cache in a later life keeps the trace its original run saved; a job
+// that never ran in this store (or whose trace write failed) has none.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if j := s.lookup(id); j == nil {
+		writeJSON(w, http.StatusNotFound, &APIError{Reason: "unknown_job", Msg: "no such job"})
+		return
+	}
+	data, err := s.store.Trace(id)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, &APIError{Reason: "no_trace",
+			Msg: "no trace artifact for this job (not finished, or trace write was skipped)"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
 }
 
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
@@ -580,6 +949,18 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		case <-r.Context().Done():
 			return
 		case ev := <-ch:
+			// Gap heal: emit skips slow subscribers, so a missed event shows
+			// up as a sequence jump. The backlog is the source of truth —
+			// refill from it (it already contains ev: events are appended to
+			// the backlog before the channel notify, under the same lock).
+			if ev.Seq > last+1 {
+				for _, b := range j.backlogAfter(last) {
+					if !send(b) {
+						return
+					}
+				}
+				continue
+			}
 			if !send(ev) {
 				return
 			}

@@ -8,37 +8,51 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 )
 
-// The on-disk job store is a write-ahead log plus an atomic result
-// directory:
+// The on-disk job store is a segmented write-ahead log plus an atomic
+// result directory:
 //
-//	<dir>/wal.log            length+CRC framed, fsync'd append-only records
+//	<dir>/wal-NNNNNN.log     length+CRC framed, fsync'd append-only segments
 //	<dir>/results/<key>.json whole-file results, written tmp+rename+fsync
+//	<dir>/results/<key>.trace.json per-job Chrome-trace artifacts (best effort)
 //
 // Each WAL record is [len uint32][crc32 uint32][payload JSON], little
 // endian. Appends are fsync'd before the caller is told the operation
 // succeeded — Accept returning nil IS the daemon's 202, so a kill -9 at
-// any later instant cannot lose the job. Because the log is append-only,
-// a torn write can exist only at the tail: replay stops at the first
-// frame whose length or checksum does not hold, truncates the file there,
-// and the store is exactly the prefix of operations that were fully
-// written. Results are never written in place; a result file either does
-// not exist or is complete.
+// any later instant cannot lose the job. Because segments are
+// append-only, a torn write can exist only at the tail of the newest
+// segment: replay stops at the first frame whose length or checksum does
+// not hold, truncates there, and the store is exactly the prefix of
+// operations that were fully written. Results are never written in
+// place; a result file either does not exist or is complete.
 //
-// Crash-recovery state machine (replayed in WAL order):
+// Segment rotation: when the active segment passes SegmentBytes the
+// store seals it and appends to a fresh one. A sealed segment whose every
+// referenced job/sweep is terminal is compacted live: one summary record
+// per id (accept + done, current state) is appended to the active
+// segment and fsync'd, then the sealed file is deleted. Replay is
+// idempotent — a duplicate accept keeps the first spec, a duplicate done
+// re-applies the same terminal state — so a crash anywhere inside
+// compaction (before the summary, between summary and delete, after the
+// delete) replays to the same state. Long-lived deployments therefore
+// keep O(live jobs) log bytes instead of growing one file forever;
+// Checkpoint (graceful drain) is now just a full compaction.
+//
+// Crash-recovery state machine (replayed in segment + WAL order):
 //
 //	accept(id)        -> job pending
-//	done(id, ok)      -> job done   (result file must exist; if the
-//	                     artifact vanished the job degrades to pending
+//	sweep(id)         -> sweep pending (children are ordinary jobs)
+//	done(id, ok)      -> job/sweep done (result file must exist; if the
+//	                     artifact vanished the entry degrades to pending
 //	                     and is simply re-run — simulations are
 //	                     deterministic, so the re-run is byte-identical)
-//	done(id, failed)  -> job failed (typed kind + message preserved)
+//	done(id, failed)  -> failed (typed kind + message preserved)
 //
 // A job that was running at the moment of the crash has an accept record
-// and no done record, so replay re-enqueues it. Checkpoint compacts the
-// log to one accept (+ one done) per job, called on graceful drain.
+// and no done record, so replay re-enqueues it.
 
 // ErrStoreDead is returned by every operation after an injected crash:
 // the chaos harness uses it to guarantee a "dead" store stops mutating
@@ -49,24 +63,30 @@ var ErrStoreDead = errors.New("server: job store is dead (injected crash)")
 type CrashPoint string
 
 const (
-	CrashBeforeAppend CrashPoint = "before-append" // record never written
-	CrashAfterWrite   CrashPoint = "after-write"   // written, not synced: tail may tear
-	CrashAfterSync    CrashPoint = "after-sync"    // durable, caller never told
-	CrashAfterResult  CrashPoint = "after-result"  // result durable, done record absent
+	CrashBeforeAppend  CrashPoint = "before-append"  // record never written
+	CrashAfterWrite    CrashPoint = "after-write"    // written, not synced: tail may tear
+	CrashAfterSync     CrashPoint = "after-sync"     // durable, caller never told
+	CrashAfterResult   CrashPoint = "after-result"   // result durable, done record absent
+	CrashDuringCompact CrashPoint = "during-compact" // summary durable, sealed segment not yet deleted
 )
 
 // maxRecord bounds one WAL payload; anything larger during replay is
 // treated as a torn/corrupt tail.
 const maxRecord = 1 << 20
 
+// DefaultSegmentBytes is the rotation threshold when the caller does not
+// choose one.
+const DefaultSegmentBytes = 4 << 20
+
 // walRecord is the JSON payload of one frame.
 type walRecord struct {
-	Op       string   `json:"op"` // accept | done
-	ID       string   `json:"id"`
-	Spec     *JobSpec `json:"spec,omitempty"`
-	Status   string   `json:"status,omitempty"` // ok | failed
-	FailKind string   `json:"fail_kind,omitempty"`
-	Error    string   `json:"error,omitempty"`
+	Op       string     `json:"op"` // accept | sweep | done
+	ID       string     `json:"id"`
+	Spec     *JobSpec   `json:"spec,omitempty"`
+	Sweep    *SweepSpec `json:"sweep,omitempty"`
+	Status   string     `json:"status,omitempty"` // ok | failed
+	FailKind string     `json:"fail_kind,omitempty"`
+	Error    string     `json:"error,omitempty"`
 }
 
 // StoredJob is one job's durable state after replay.
@@ -78,67 +98,178 @@ type StoredJob struct {
 	Error    string
 }
 
+// StoredSweep is one sweep's durable state after replay. Children are
+// not persisted with the sweep — they are ordinary jobs, recomputed
+// deterministically from the spec on replay.
+type StoredSweep struct {
+	ID       string
+	Spec     SweepSpec
+	State    string
+	FailKind string
+	Error    string
+}
+
+// segment is one WAL file plus the set of job/sweep ids it references
+// (the compaction unit).
+type segment struct {
+	index int
+	path  string
+	ids   map[string]bool
+}
+
 // Store is the durable job store. All methods are safe for concurrent
 // use; every mutation is fsync'd before it reports success.
 type Store struct {
-	dir string
+	dir      string
+	segBytes int64
 
-	mu    sync.Mutex
-	wal   *os.File
-	jobs  map[string]*StoredJob
-	order []string
-	dead  bool
+	mu         sync.Mutex
+	wal        *os.File   // active segment handle
+	cur        *segment   // active segment bookkeeping
+	walSize    int64      // bytes in the active segment
+	sealed     []*segment // older segments, oldest first
+	jobs       map[string]*StoredJob
+	order      []string
+	sweeps     map[string]*StoredSweep
+	sweepOrder []string
+	dead       bool
+	compacting bool
 
-	// Truncated reports how many torn tail bytes replay discarded —
-	// observability for the recovery path, asserted on by the chaos tests.
+	// Truncated reports how many torn/untrustworthy tail bytes replay
+	// discarded — observability for the recovery path, asserted on by the
+	// chaos tests.
 	Truncated int64
 	// Replayed counts the records recovered from the existing WAL.
 	Replayed int
+	// Compacted counts sealed segments removed by live compaction (and
+	// checkpoint) over this store's lifetime.
+	Compacted int
 
 	// crash is the chaos hook (nil in production): consulted at each
 	// CrashPoint; a non-nil return kills the store there.
 	crash func(CrashPoint) error
+	// fault is the transient-failure hook (nil in production): a non-nil
+	// return fails the operation without killing the store — the disk
+	// hiccup the in-process settlement retry path recovers from.
+	fault func(op string) error
 }
 
-// OpenStore opens (creating if needed) the job store in dir and replays
-// the WAL, truncating a torn tail.
+// OpenStore opens (creating if needed) the job store in dir with the
+// default segment size and replays the WAL, truncating a torn tail.
 func OpenStore(dir string) (*Store, error) {
+	return OpenStoreSegmented(dir, DefaultSegmentBytes)
+}
+
+// OpenStoreSegmented opens the store with an explicit rotation threshold
+// (tests use tiny segments to force rollover and live compaction).
+func OpenStoreSegmented(dir string, segBytes int64) (*Store, error) {
+	if segBytes <= 0 {
+		segBytes = DefaultSegmentBytes
+	}
 	if err := os.MkdirAll(filepath.Join(dir, "results"), 0o755); err != nil {
 		return nil, fmt.Errorf("server: store: %w", err)
 	}
-	s := &Store{dir: dir, jobs: make(map[string]*StoredJob)}
-	walPath := filepath.Join(dir, "wal.log")
-	data, err := os.ReadFile(walPath)
-	if err != nil && !errors.Is(err, os.ErrNotExist) {
-		return nil, fmt.Errorf("server: store: %w", err)
+	s := &Store{
+		dir: dir, segBytes: segBytes,
+		jobs:   make(map[string]*StoredJob),
+		sweeps: make(map[string]*StoredSweep),
 	}
-	valid := s.replay(data)
-	f, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("server: store: %w", err)
+	if err := s.openSegments(); err != nil {
+		return nil, err
 	}
-	if valid < int64(len(data)) {
-		s.Truncated = int64(len(data)) - valid
-		if err := f.Truncate(valid); err != nil {
-			f.Close()
-			return nil, fmt.Errorf("server: store: truncate torn tail: %w", err)
-		}
-	}
-	if _, err := f.Seek(valid, 0); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("server: store: %w", err)
-	}
-	s.wal = f
 	if err := syncDir(dir); err != nil {
-		f.Close()
+		s.wal.Close()
 		return nil, err
 	}
 	return s, nil
 }
 
-// replay applies every fully-written record in data and returns the byte
-// offset of the last valid frame's end (everything past it is torn).
-func (s *Store) replay(data []byte) int64 {
+// segPath names segment i.
+func (s *Store) segPath(i int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("wal-%06d.log", i))
+}
+
+// openSegments discovers, replays, and repairs the segment chain, leaving
+// s.wal positioned for appends on the newest segment.
+func (s *Store) openSegments() error {
+	// Migrate a pre-rotation store: its single wal.log becomes segment 1.
+	legacy := filepath.Join(s.dir, "wal.log")
+	if _, err := os.Stat(legacy); err == nil {
+		if _, err := os.Stat(s.segPath(1)); errors.Is(err, os.ErrNotExist) {
+			if err := os.Rename(legacy, s.segPath(1)); err != nil {
+				return fmt.Errorf("server: store: migrate wal.log: %w", err)
+			}
+		}
+	}
+	paths, err := filepath.Glob(filepath.Join(s.dir, "wal-*.log"))
+	if err != nil {
+		return fmt.Errorf("server: store: %w", err)
+	}
+	var segs []*segment
+	for _, p := range paths {
+		var idx int
+		if _, err := fmt.Sscanf(filepath.Base(p), "wal-%06d.log", &idx); err != nil {
+			continue // not ours
+		}
+		segs = append(segs, &segment{index: idx, path: p, ids: map[string]bool{}})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].index < segs[j].index })
+	if len(segs) == 0 {
+		segs = []*segment{{index: 1, path: s.segPath(1), ids: map[string]bool{}}}
+	}
+
+	// Replay in order. An invalid frame in the NEWEST segment is the torn
+	// tail a synced append-only log can legitimately suffer: truncate and
+	// continue appending there. An invalid frame in an older segment means
+	// everything after it is untrustworthy (same policy as the single-log
+	// store): truncate that segment, discard all later segments, and make
+	// the truncated one the active segment again.
+	active := len(segs) - 1
+	var activeValid int64
+	for i, seg := range segs {
+		data, err := os.ReadFile(seg.path)
+		if err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("server: store: %w", err)
+		}
+		valid := s.replay(data, seg.ids)
+		if valid < int64(len(data)) || err != nil {
+			s.Truncated += int64(len(data)) - valid
+			for _, later := range segs[i+1:] {
+				if st, serr := os.Stat(later.path); serr == nil {
+					s.Truncated += st.Size()
+				}
+				os.Remove(later.path)
+			}
+			active, activeValid = i, valid
+			break
+		}
+		if i == active {
+			activeValid = valid
+		}
+	}
+	s.sealed = append(s.sealed, segs[:active]...)
+	s.cur = segs[active]
+	f, err := os.OpenFile(s.cur.path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("server: store: %w", err)
+	}
+	if err := f.Truncate(activeValid); err != nil {
+		f.Close()
+		return fmt.Errorf("server: store: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(activeValid, 0); err != nil {
+		f.Close()
+		return fmt.Errorf("server: store: %w", err)
+	}
+	s.wal = f
+	s.walSize = activeValid
+	return nil
+}
+
+// replay applies every fully-written record in data, adds touched ids to
+// ids, and returns the byte offset of the last valid frame's end
+// (everything past it is torn).
+func (s *Store) replay(data []byte, ids map[string]bool) int64 {
 	off := 0
 	for {
 		if len(data)-off < 8 {
@@ -158,6 +289,9 @@ func (s *Store) replay(data []byte) int64 {
 			return int64(off)
 		}
 		s.apply(rec)
+		if ids != nil {
+			ids[rec.ID] = true
+		}
 		s.Replayed++
 		off += 8 + int(n)
 	}
@@ -175,18 +309,35 @@ func (s *Store) apply(rec walRecord) {
 		}
 		s.jobs[rec.ID] = &StoredJob{ID: rec.ID, Spec: *rec.Spec, State: StateAccepted}
 		s.order = append(s.order, rec.ID)
-	case "done":
-		j, ok := s.jobs[rec.ID]
-		if !ok {
+	case "sweep":
+		if rec.Sweep == nil {
 			return
 		}
-		if rec.Status == "ok" {
-			if s.hasResultFile(rec.ID) {
-				j.State = StateDone
+		if _, ok := s.sweeps[rec.ID]; ok {
+			return
+		}
+		s.sweeps[rec.ID] = &StoredSweep{ID: rec.ID, Spec: *rec.Sweep, State: StateAccepted}
+		s.sweepOrder = append(s.sweepOrder, rec.ID)
+	case "done":
+		if j, ok := s.jobs[rec.ID]; ok {
+			if rec.Status == "ok" {
+				if s.hasResultFile(rec.ID) {
+					j.State = StateDone
+				}
+				// No artifact: leave pending, the job re-runs deterministically.
+			} else {
+				j.State, j.FailKind, j.Error = StateFailed, rec.FailKind, rec.Error
 			}
-			// No artifact: leave pending, the job re-runs deterministically.
-		} else {
-			j.State, j.FailKind, j.Error = StateFailed, rec.FailKind, rec.Error
+			return
+		}
+		if sw, ok := s.sweeps[rec.ID]; ok {
+			if rec.Status == "ok" {
+				if s.hasResultFile(rec.ID) {
+					sw.State = StateDone
+				}
+			} else {
+				sw.State, sw.FailKind, sw.Error = StateFailed, rec.FailKind, rec.Error
+			}
 		}
 	}
 }
@@ -203,20 +354,64 @@ func (s *Store) Jobs() []*StoredJob {
 	return out
 }
 
-// append frames, writes, and fsyncs one record while holding s.mu.
-func (s *Store) append(rec walRecord) error {
-	if s.dead {
+// Sweeps returns every stored sweep in WAL (acceptance) order.
+func (s *Store) Sweeps() []*StoredSweep {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*StoredSweep, 0, len(s.sweepOrder))
+	for _, id := range s.sweepOrder {
+		sw := *s.sweeps[id]
+		out = append(out, &sw)
+	}
+	return out
+}
+
+// Segments reports how many WAL segments exist (sealed + active) —
+// observability for the rotation path.
+func (s *Store) Segments() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sealed) + 1
+}
+
+// CompactedSegments reports how many sealed segments live compaction (and
+// checkpoint) removed over this store's lifetime.
+func (s *Store) CompactedSegments() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Compacted
+}
+
+// frame encodes one record as [len][crc][payload].
+func frame(rec walRecord) []byte {
+	payload := canonicalJSON(rec)
+	buf := make([]byte, 8, 8+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	return append(buf, payload...)
+}
+
+// appendAll frames, writes, and fsyncs a batch of records as one write +
+// one sync while holding s.mu, then rotates the active segment if it
+// passed the size threshold. Batching is what makes a wide sweep fan-out
+// one durability round-trip instead of one per child.
+func (s *Store) appendAll(recs []walRecord) error {
+	if s.dead || s.wal == nil {
 		return ErrStoreDead
+	}
+	if s.fault != nil {
+		if err := s.fault("append"); err != nil {
+			return err
+		}
 	}
 	if err := s.at(CrashBeforeAppend); err != nil {
 		return err
 	}
-	payload := canonicalJSON(rec)
-	frame := make([]byte, 8, 8+len(payload))
-	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
-	frame = append(frame, payload...)
-	if _, err := s.wal.Write(frame); err != nil {
+	var buf []byte
+	for _, rec := range recs {
+		buf = append(buf, frame(rec)...)
+	}
+	if _, err := s.wal.Write(buf); err != nil {
 		return fmt.Errorf("server: wal append: %w", err)
 	}
 	if err := s.at(CrashAfterWrite); err != nil {
@@ -225,7 +420,132 @@ func (s *Store) append(rec walRecord) error {
 	if err := s.wal.Sync(); err != nil {
 		return fmt.Errorf("server: wal sync: %w", err)
 	}
-	return s.at(CrashAfterSync)
+	if err := s.at(CrashAfterSync); err != nil {
+		return err
+	}
+	s.walSize += int64(len(buf))
+	for _, rec := range recs {
+		s.cur.ids[rec.ID] = true
+	}
+	if s.walSize >= s.segBytes && !s.compacting {
+		if err := s.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Store) append(rec walRecord) error { return s.appendAll([]walRecord{rec}) }
+
+// rotateLocked seals the active segment and opens the next one.
+func (s *Store) rotateLocked() error {
+	next := &segment{index: s.cur.index + 1, ids: map[string]bool{}}
+	next.path = s.segPath(next.index)
+	f, err := os.OpenFile(next.path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("server: wal rotate: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		f.Close()
+		return err
+	}
+	s.wal.Close()
+	s.sealed = append(s.sealed, s.cur)
+	s.cur, s.wal, s.walSize = next, f, 0
+	return nil
+}
+
+// terminalLocked reports whether id refers to a terminal (or unknown —
+// nothing to lose) job or sweep, and returns its summary records.
+func (s *Store) terminalLocked(id string) (recs []walRecord, terminal bool) {
+	if j, ok := s.jobs[id]; ok {
+		switch j.State {
+		case StateDone:
+			spec := j.Spec
+			return []walRecord{
+				{Op: "accept", ID: id, Spec: &spec},
+				{Op: "done", ID: id, Status: "ok"},
+			}, true
+		case StateFailed:
+			spec := j.Spec
+			return []walRecord{
+				{Op: "accept", ID: id, Spec: &spec},
+				{Op: "done", ID: id, Status: "failed", FailKind: j.FailKind, Error: j.Error},
+			}, true
+		}
+		return nil, false
+	}
+	if sw, ok := s.sweeps[id]; ok {
+		switch sw.State {
+		case StateDone:
+			spec := sw.Spec
+			return []walRecord{
+				{Op: "sweep", ID: id, Sweep: &spec},
+				{Op: "done", ID: id, Status: "ok"},
+			}, true
+		case StateFailed:
+			spec := sw.Spec
+			return []walRecord{
+				{Op: "sweep", ID: id, Sweep: &spec},
+				{Op: "done", ID: id, Status: "failed", FailKind: sw.FailKind, Error: sw.Error},
+			}, true
+		}
+		return nil, false
+	}
+	return nil, true // unknown id: no state to preserve
+}
+
+// maybeCompactLocked removes sealed segments whose every referenced id is
+// terminal. Each victim's live state is first re-persisted as summary
+// records in the active segment (one fsync per victim), then the sealed
+// file is unlinked. Idempotent replay makes every crash window safe:
+// summary-without-delete replays duplicates (collapsed), delete-without-
+// summary cannot happen (the summary is synced first).
+func (s *Store) maybeCompactLocked() error {
+	if s.compacting || s.dead {
+		return nil
+	}
+	s.compacting = true
+	defer func() { s.compacting = false }()
+	for i := 0; i < len(s.sealed); {
+		seg := s.sealed[i]
+		var summary []walRecord
+		settled := true
+		ids := make([]string, 0, len(seg.ids))
+		for id := range seg.ids {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			recs, term := s.terminalLocked(id)
+			if !term {
+				settled = false
+				break
+			}
+			summary = append(summary, recs...)
+		}
+		if !settled {
+			i++
+			continue
+		}
+		if len(summary) > 0 {
+			if err := s.appendAll(summary); err != nil {
+				return err
+			}
+		}
+		if err := s.at(CrashDuringCompact); err != nil {
+			return err
+		}
+		if err := os.Remove(seg.path); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("server: wal compact: %w", err)
+		}
+		if err := syncDir(s.dir); err != nil {
+			return err
+		}
+		s.sealed = append(s.sealed[:i], s.sealed[i+1:]...)
+		s.Compacted++
+	}
+	return nil
 }
 
 // at consults the crash hook; on injection the store dies in place.
@@ -260,41 +580,97 @@ func (s *Store) Accept(id string, spec JobSpec) error {
 	return nil
 }
 
-// CompleteOK durably marks the job done. The result artifact must have
-// been saved first (SaveResult); the ordering is what makes "done" imply
-// "result readable" across any crash.
+// AcceptSweep durably records a sweep and every child job it fans out to
+// in ONE batched append (one fsync): when it returns nil the whole fan-out
+// survives any crash. Children whose ids already exist are skipped —
+// dedupe on content keys is what makes a resumed or overlapping sweep
+// free. The sweep record is written last so a torn batch replays as plain
+// orphan jobs (harmless, deterministic) rather than a sweep with missing
+// children; recovery re-accepts missing children either way.
+func (s *Store) AcceptSweep(id string, spec SweepSpec, childIDs []string, childSpecs []JobSpec) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dead {
+		return ErrStoreDead
+	}
+	if _, ok := s.sweeps[id]; ok {
+		return nil
+	}
+	var recs []walRecord
+	for i, cid := range childIDs {
+		if _, ok := s.jobs[cid]; ok {
+			continue
+		}
+		cs := childSpecs[i]
+		recs = append(recs, walRecord{Op: "accept", ID: cid, Spec: &cs})
+	}
+	recs = append(recs, walRecord{Op: "sweep", ID: id, Sweep: &spec})
+	if err := s.appendAll(recs); err != nil {
+		return err
+	}
+	for i, cid := range childIDs {
+		if _, ok := s.jobs[cid]; ok {
+			continue
+		}
+		s.jobs[cid] = &StoredJob{ID: cid, Spec: childSpecs[i], State: StateAccepted}
+		s.order = append(s.order, cid)
+	}
+	s.sweeps[id] = &StoredSweep{ID: id, Spec: spec, State: StateAccepted}
+	s.sweepOrder = append(s.sweepOrder, id)
+	return nil
+}
+
+// CompleteOK durably marks the job (or sweep) done. The result artifact
+// must have been saved first (SaveResult); the ordering is what makes
+// "done" imply "result readable" across any crash. Settlement is also the
+// live-compaction trigger: a terminal record is what lets a sealed
+// segment become fully settled.
 func (s *Store) CompleteOK(id string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	j, ok := s.jobs[id]
-	if !ok {
+	j, jok := s.jobs[id]
+	sw, sok := s.sweeps[id]
+	if !jok && !sok {
 		return fmt.Errorf("server: complete: unknown job %s", id)
 	}
 	if err := s.append(walRecord{Op: "done", ID: id, Status: "ok"}); err != nil {
 		return err
 	}
-	j.State = StateDone
-	return nil
+	if jok {
+		j.State = StateDone
+	} else {
+		sw.State = StateDone
+	}
+	return s.maybeCompactLocked()
 }
 
-// CompleteFailed durably records a typed failure.
+// CompleteFailed durably records a typed failure for a job or sweep.
 func (s *Store) CompleteFailed(id, failKind, msg string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	j, ok := s.jobs[id]
-	if !ok {
+	j, jok := s.jobs[id]
+	sw, sok := s.sweeps[id]
+	if !jok && !sok {
 		return fmt.Errorf("server: complete: unknown job %s", id)
 	}
 	rec := walRecord{Op: "done", ID: id, Status: "failed", FailKind: failKind, Error: msg}
 	if err := s.append(rec); err != nil {
 		return err
 	}
-	j.State, j.FailKind, j.Error = StateFailed, failKind, msg
-	return nil
+	if jok {
+		j.State, j.FailKind, j.Error = StateFailed, failKind, msg
+	} else {
+		sw.State, sw.FailKind, sw.Error = StateFailed, failKind, msg
+	}
+	return s.maybeCompactLocked()
 }
 
 func (s *Store) resultPath(id string) string {
 	return filepath.Join(s.dir, "results", id+".json")
+}
+
+func (s *Store) tracePath(id string) string {
+	return filepath.Join(s.dir, "results", id+".trace.json")
 }
 
 func (s *Store) hasResultFile(id string) bool {
@@ -302,45 +678,71 @@ func (s *Store) hasResultFile(id string) bool {
 	return err == nil
 }
 
-// SaveResult atomically persists the job's result artifact: write to a
-// temp file, fsync it, rename into place, fsync the directory. A crash at
-// any instant leaves either no file or the complete file — never a torn
-// result.
+// writeFileAtomic lands data at path via temp file + fsync + rename +
+// directory fsync: a crash at any instant leaves either no file or the
+// complete file.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-"+filepath.Base(path)+"-*")
+	if err != nil {
+		return fmt.Errorf("server: write %s: %w", filepath.Base(path), err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("server: write %s: %w", filepath.Base(path), err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("server: write %s: %w", filepath.Base(path), err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("server: write %s: %w", filepath.Base(path), err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("server: write %s: %w", filepath.Base(path), err)
+	}
+	return syncDir(dir)
+}
+
+// SaveResult atomically persists the job's (or sweep's) result artifact.
 func (s *Store) SaveResult(id string, data []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.dead {
 		return ErrStoreDead
 	}
-	dir := filepath.Join(s.dir, "results")
-	tmp, err := os.CreateTemp(dir, ".tmp-"+id+"-*")
-	if err != nil {
-		return fmt.Errorf("server: save result: %w", err)
+	if s.fault != nil {
+		if err := s.fault("result"); err != nil {
+			return err
+		}
 	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return fmt.Errorf("server: save result: %w", err)
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("server: save result: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("server: save result: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), s.resultPath(id)); err != nil {
-		return fmt.Errorf("server: save result: %w", err)
-	}
-	if err := syncDir(dir); err != nil {
+	if err := writeFileAtomic(s.resultPath(id), data); err != nil {
 		return err
 	}
 	return s.at(CrashAfterResult)
 }
 
+// SaveTrace atomically persists the job's Chrome-trace artifact. Traces
+// are best-effort observability, not part of the durability contract: a
+// job is complete with or without one.
+func (s *Store) SaveTrace(id string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dead {
+		return ErrStoreDead
+	}
+	return writeFileAtomic(s.tracePath(id), data)
+}
+
 // Result reads the persisted result artifact.
 func (s *Store) Result(id string) ([]byte, error) {
 	return os.ReadFile(s.resultPath(id))
+}
+
+// Trace reads the persisted Chrome-trace artifact.
+func (s *Store) Trace(id string) ([]byte, error) {
+	return os.ReadFile(s.tracePath(id))
 }
 
 // HasResult reports whether the job's result artifact is on disk.
@@ -350,10 +752,11 @@ func (s *Store) HasResult(id string) bool {
 	return s.hasResultFile(id)
 }
 
-// Checkpoint compacts the WAL to one accept record (plus one done record
-// for terminal jobs) per job, atomically (tmp+rename): a crash during
-// checkpoint leaves the previous log intact. Called on graceful drain so
-// a restart replays a minimal queue.
+// Checkpoint compacts the whole WAL to one summary per job/sweep in a
+// fresh segment, removing every older segment. Atomic: the new segment is
+// written tmp+rename before the old ones are deleted, and replay collapses
+// any crash-window duplicates. Called on graceful drain so a restart
+// replays a minimal queue.
 func (s *Store) Checkpoint() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -361,56 +764,55 @@ func (s *Store) Checkpoint() error {
 		return ErrStoreDead
 	}
 	var buf []byte
-	frame := func(rec walRecord) {
-		payload := canonicalJSON(rec)
-		var hdr [8]byte
-		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-		binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
-		buf = append(buf, hdr[:]...)
-		buf = append(buf, payload...)
-	}
+	add := func(rec walRecord) { buf = append(buf, frame(rec)...) }
 	for _, id := range s.order {
 		j := s.jobs[id]
 		spec := j.Spec
-		frame(walRecord{Op: "accept", ID: id, Spec: &spec})
+		add(walRecord{Op: "accept", ID: id, Spec: &spec})
 		switch j.State {
 		case StateDone:
-			frame(walRecord{Op: "done", ID: id, Status: "ok"})
+			add(walRecord{Op: "done", ID: id, Status: "ok"})
 		case StateFailed:
-			frame(walRecord{Op: "done", ID: id, Status: "failed",
+			add(walRecord{Op: "done", ID: id, Status: "failed",
 				FailKind: j.FailKind, Error: j.Error})
 		}
 	}
-	tmp, err := os.CreateTemp(s.dir, ".wal-*")
-	if err != nil {
-		return fmt.Errorf("server: checkpoint: %w", err)
+	for _, id := range s.sweepOrder {
+		sw := s.sweeps[id]
+		spec := sw.Spec
+		add(walRecord{Op: "sweep", ID: id, Sweep: &spec})
+		switch sw.State {
+		case StateDone:
+			add(walRecord{Op: "done", ID: id, Status: "ok"})
+		case StateFailed:
+			add(walRecord{Op: "done", ID: id, Status: "failed",
+				FailKind: sw.FailKind, Error: sw.Error})
+		}
 	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(buf); err != nil {
-		tmp.Close()
-		return fmt.Errorf("server: checkpoint: %w", err)
+	nextIdx := s.cur.index + 1
+	nextPath := s.segPath(nextIdx)
+	if err := writeFileAtomic(nextPath, buf); err != nil {
+		return err
 	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("server: checkpoint: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("server: checkpoint: %w", err)
-	}
-	walPath := filepath.Join(s.dir, "wal.log")
-	if err := os.Rename(tmp.Name(), walPath); err != nil {
-		return fmt.Errorf("server: checkpoint: %w", err)
+	// The compacted segment is durable; retire everything older.
+	old := append(append([]*segment(nil), s.sealed...), s.cur)
+	s.wal.Close()
+	for _, seg := range old {
+		if err := os.Remove(seg.path); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("server: checkpoint: %w", err)
+		}
+		s.Compacted++
 	}
 	if err := syncDir(s.dir); err != nil {
 		return err
 	}
-	// Re-point the append handle at the compacted log.
-	s.wal.Close()
-	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(nextPath, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("server: checkpoint: reopen: %w", err)
 	}
-	s.wal = f
+	s.sealed = nil
+	s.cur = &segment{index: nextIdx, path: nextPath, ids: map[string]bool{}}
+	s.wal, s.walSize = f, int64(len(buf))
 	return nil
 }
 

@@ -89,7 +89,7 @@ func TestStoreTornTailTruncated(t *testing.T) {
 	st.Accept("j2", testSpec("mcf06"))
 	st.Close()
 
-	wal := filepath.Join(dir, "wal.log")
+	wal := filepath.Join(dir, "wal-000001.log")
 	data, err := os.ReadFile(wal)
 	if err != nil {
 		t.Fatal(err)
@@ -127,14 +127,14 @@ func TestStoreCorruptMiddleStopsReplay(t *testing.T) {
 	dir := t.TempDir()
 	st, _ := OpenStore(dir)
 	st.Accept("j1", testSpec("lbm06"))
-	end1, _ := os.Stat(filepath.Join(dir, "wal.log"))
+	end1, _ := os.Stat(filepath.Join(dir, "wal-000001.log"))
 	st.Accept("j2", testSpec("mcf06"))
 	st.Close()
 
 	// Flip one payload byte inside the second record: its CRC fails, and
 	// replay keeps only the prefix (a mid-log corruption means everything
 	// after it is untrustworthy).
-	wal := filepath.Join(dir, "wal.log")
+	wal := filepath.Join(dir, "wal-000001.log")
 	data, _ := os.ReadFile(wal)
 	data[end1.Size()+20] ^= 0xFF
 	os.WriteFile(wal, data, 0o644)

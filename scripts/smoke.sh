@@ -69,7 +69,15 @@ echo "smoke: chaos campaign clean (200 trials, zero lost)"
 # Daemon crash-recovery stage: boot ptmcd, run a reference job to
 # completion, then on a fresh store submit the same job, SIGKILL the
 # daemon mid-simulation, restart over the same store, and require the
-# replayed job to finish with a byte-identical result artifact. Both
-# daemons are stopped with SIGTERM and must drain cleanly (exit 0).
+# replayed job to finish with a byte-identical result artifact. A sweep
+# leg repeats the exercise for a 3x3 matrix: kill -9 mid-sweep, restart,
+# byte-identical aggregate with zero re-simulated points. All daemons are
+# stopped with SIGTERM and must drain cleanly (exit 0).
 ./scripts/smoke_ptmcd.sh
 echo "smoke: daemon crash recovery byte-identical, drains exit 0"
+
+# Daemon load stage: 200 mixed-priority jobs against the real binary with
+# tiny WAL segments, kill -9 mid-flight, restart — zero lost jobs, zero
+# duplicate simulations (sims_run arithmetic), every artifact served.
+./scripts/smoke_load.sh
+echo "smoke: daemon load campaign clean (0 lost, 0 duplicate sims)"

@@ -10,6 +10,12 @@
 #      The WAL replays the accepted job, the deterministic simulator
 #      re-runs it, and the served artifact must be byte-identical to the
 #      reference. The restarted daemon must also drain to exit 0.
+#   3. Sweep-resume leg: a 3-scheme x 3-seed sweep run clean for a
+#      reference aggregate, then re-run on a fresh store with a SIGKILL
+#      mid-matrix. The restarted daemon must finish the sweep with a
+#      byte-identical aggregate, and its sims_run metric must equal
+#      exactly the points that had no artifact at kill time — zero
+#      re-simulated points.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -90,3 +96,59 @@ if ! cmp -s "$work/ref.json" "$work/replayed.json"; then
 	exit 1
 fi
 echo "smoke_ptmcd: job $id recovered after kill -9 with a byte-identical artifact"
+
+# --- Sweep-resume leg --------------------------------------------------
+# 9 points sized so the matrix takes several seconds on one worker: the
+# SIGKILL below reliably lands with some points settled and some not.
+sweep='{"workloads":["lbm06"],"schemes":["uncompressed","ptmc","dynamic-ptmc"],"seeds":[1,2,3],"cores":2,"warmup_instr":100000,"measure_instr":1200000}'
+points=9
+
+# Reference aggregate from an uninterrupted run in its own store.
+boot_daemon "$work/sweep-ref-data"
+sid="$("$work/ptmcd" submit -sweep -server "$base" -spec "$sweep")"
+"$work/ptmcd" wait -sweep -server "$base" -id "$sid" -timeout 5m > /dev/null
+"$work/ptmcd" result -sweep -server "$base" -id "$sid" > "$work/sweep-ref.json"
+sigterm_daemon
+
+# Crash run: same sweep, fresh store, kill -9 mid-matrix.
+boot_daemon "$work/sweep-data"
+sid2="$("$work/ptmcd" submit -sweep -server "$base" -spec "$sweep")"
+if [ "$sid2" != "$sid" ]; then
+	echo "smoke_ptmcd: same sweep spec produced different ids ($sid vs $sid2)" >&2
+	exit 1
+fi
+sleep 2.5
+kill -9 "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+
+# Points already settled at kill time: one result artifact per child job
+# (the aggregate and trace files don't count).
+pre=0
+for f in "$work/sweep-data/results/"*.json; do
+	[ -e "$f" ] || continue
+	case "$f" in
+	*".trace.json" | */"$sid.json") continue ;;
+	esac
+	pre=$((pre + 1))
+done
+
+# Restart: the sweep must finish, byte-identical, re-simulating only the
+# points that had no artifact.
+boot_daemon "$work/sweep-data"
+"$work/ptmcd" wait -sweep -server "$base" -id "$sid" -timeout 5m > /dev/null
+"$work/ptmcd" result -sweep -server "$base" -id "$sid" > "$work/sweep-resumed.json"
+sims="$("$work/ptmcd" metrics -server "$base" | awk '$1 == "ptmcd.sims_run" {print $2}')"
+sigterm_daemon
+
+if ! cmp -s "$work/sweep-ref.json" "$work/sweep-resumed.json"; then
+	echo "smoke_ptmcd: resumed sweep aggregate differs from the reference" >&2
+	diff "$work/sweep-ref.json" "$work/sweep-resumed.json" >&2 || true
+	exit 1
+fi
+want=$((points - pre))
+if [ "$sims" != "$want" ]; then
+	echo "smoke_ptmcd: restart ran $sims sims for $points-point sweep with $pre settled pre-kill (want $want — duplicate or lost work)" >&2
+	exit 1
+fi
+echo "smoke_ptmcd: sweep $sid resumed after kill -9 ($pre/$points points reused, $sims re-simulated, aggregate byte-identical)"
