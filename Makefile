@@ -13,10 +13,11 @@
 #   make bench       compression + artifact micro-benchmarks with allocation
 #                    counts (AppendCompress/DecompressInto must show 0 allocs/op;
 #                    nil-instrumentation obs paths must show 0 allocs/op)
-#   make bench-trend regenerate BENCH_PR7.json: the paperbench workload mix
-#                    end-to-end for all seven schemes' bench set at shards
-#                    1/2/4/8 plus core micro-benchmarks (slow: ~24 full
-#                    simulations), then validate the whole trajectory
+#   make bench-trend regenerate the current PR's BENCH_PR<n>.json (benchtrend's
+#                    -out/-pr defaults track the latest PR): mix1 and the
+#                    low-MLP microworkload end-to-end on the serial, sharded,
+#                    and event engines plus core micro-benchmarks (slow: ~24
+#                    full simulations), then validate the whole trajectory
 #   make ci          everything
 
 GO ?= go
@@ -72,7 +73,7 @@ bench:
 	$(GO) test -run xxx -bench 'BenchmarkPTMCReadMiss' -benchmem ./internal/memctrl/
 
 bench-trend:
-	$(GO) run ./cmd/benchtrend -out BENCH_PR7.json
+	$(GO) run ./cmd/benchtrend
 	$(GO) run ./cmd/benchtrend -check 'BENCH_*.json'
 
 ci: check smoke

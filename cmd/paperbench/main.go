@@ -32,6 +32,7 @@ func main() {
 		cores    = flag.Int("cores", 0, "override core count")
 		seed     = flag.Int64("seed", 1, "run seed")
 		shards   = flag.Int("shards", 0, "epoch-engine shards per simulation (0/1 = serial reference loop)")
+		event    = flag.Bool("event", false, "run every simulation on the discrete-event engine (reports identical)")
 		quiet    = flag.Bool("quiet", false, "suppress per-run progress lines")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
 			"max concurrent simulations (output is identical at any value)")
@@ -72,6 +73,7 @@ func main() {
 	opts.Seed = *seed
 	opts.Silent = *quiet
 	opts.Shards = *shards
+	opts.EventDriven = *event
 
 	r := paper.NewParallelRunner(opts, os.Stdout, *parallel)
 

@@ -54,6 +54,7 @@ func main() {
 		cores        = flag.Int("cores", 8, "cores")
 		seed         = flag.Int64("seed", 1, "base seed")
 		shards       = flag.Int("shards", 0, "epoch-engine shards (0/1 = serial reference loop)")
+		event        = flag.Bool("event", false, "run every point on the discrete-event engine (results identical)")
 		parallel     = flag.Int("parallel", runtime.GOMAXPROCS(0),
 			"max concurrent simulations (output is identical at any value)")
 		timeout = flag.Duration("timeout", 0,
@@ -84,6 +85,7 @@ func main() {
 	base.Cores = *cores
 	base.Seed = *seed
 	base.Shards = *shards
+	base.EventDriven = *event
 
 	var points []point
 	switch *kind {

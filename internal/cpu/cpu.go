@@ -48,8 +48,16 @@ type Core struct {
 	tail  int
 	count int
 
-	gapLeft int          // non-memory instructions pending before nextOp
-	nextOp  *workload.Op // memory op waiting to enter the ROB
+	gapLeft int         // non-memory instructions pending before nextOp
+	nextOp  workload.Op // memory op waiting to enter the ROB
+	haveOp  bool        // nextOp holds a fetched-but-unentered memory op
+
+	// doneFns holds one completion callback per ROB slot, built once at
+	// construction. Loads used to allocate a fresh closure per access (and
+	// nextOp a fresh Op per stream advance), which made the fetch path the
+	// simulator's largest allocation site; a slot's callback is identical
+	// across all its occupants, so both are hoisted here.
+	doneFns []func(completeAt int64)
 
 	retired  int64
 	limit    int64
@@ -58,7 +66,7 @@ type Core struct {
 
 // New builds a core.
 func New(id int, cfg Config, stream workload.Source, access MemAccess) *Core {
-	return &Core{
+	c := &Core{
 		id:       id,
 		cfg:      cfg,
 		stream:   stream,
@@ -66,6 +74,12 @@ func New(id int, cfg Config, stream workload.Source, access MemAccess) *Core {
 		rob:      make([]int64, cfg.ROB),
 		finished: -1,
 	}
+	c.doneFns = make([]func(int64), cfg.ROB)
+	for i := range c.doneFns {
+		idx := i
+		c.doneFns[i] = func(completeAt int64) { c.rob[idx] = completeAt }
+	}
+	return c
 }
 
 // SetLimit sets the retirement target; the core stops fetching once
@@ -108,10 +122,11 @@ func (c *Core) Cycle(now int64) {
 	}
 	// Fetch up to width.
 	for n := 0; n < c.cfg.FetchWidth && c.count < len(c.rob); n++ {
-		if c.gapLeft == 0 && c.nextOp == nil {
+		if c.gapLeft == 0 && !c.haveOp {
 			op := c.stream.Next()
 			c.gapLeft = op.Gap
-			c.nextOp = &op
+			c.nextOp = op
+			c.haveOp = true
 		}
 		slot := c.tail
 		c.tail = (c.tail + 1) % len(c.rob)
@@ -122,7 +137,7 @@ func (c *Core) Cycle(now int64) {
 			continue
 		}
 		op := c.nextOp
-		c.nextOp = nil
+		c.haveOp = false
 		if op.Write {
 			// Stores retire from the store buffer immediately; the
 			// hierarchy still sees the access.
@@ -131,10 +146,7 @@ func (c *Core) Cycle(now int64) {
 			continue
 		}
 		c.rob[slot] = notDone
-		idx := slot
-		c.access(c.id, op.VAddr, false, now, func(completeAt int64) {
-			c.rob[idx] = completeAt
-		})
+		c.access(c.id, op.VAddr, false, now, c.doneFns[slot])
 	}
 }
 

@@ -203,9 +203,65 @@ type base struct {
 	// group's home.
 	inflightReads map[mem.LineAddr][]Done
 
+	// freeDones recycles issue's per-request completion contexts. The
+	// completion wrapper needs (addr, write, done) at fire time; closing
+	// over them allocated once per DRAM burst, which made issue one of
+	// the simulator's hottest allocation sites. Pool size is bounded by
+	// the peak number of concurrently outstanding requests.
+	freeDones []*issueDone
+
 	// tr receives DRAM-request and fill events; nil (the default) is the
 	// disabled tracer and costs one branch per event.
 	tr *obs.Tracer
+}
+
+// issueDone is issue's pooled completion context: the state its OnComplete
+// wrapper needs, plus fn, the method value handed to the DRAM request —
+// built once per context so steady-state issue allocates nothing.
+type issueDone struct {
+	b     *base
+	a     mem.LineAddr
+	write bool
+	done  Done
+	fn    Done
+}
+
+// complete is the pooled equivalent of issue's old per-request closure:
+// same bookkeeping, same callback order. The context is recycled before
+// the callbacks run (its fields are copied out first), so a done that
+// issues further requests can reuse it immediately.
+func (x *issueDone) complete(c int64) {
+	b, a, write, done := x.b, x.a, x.write, x.done
+	x.done = nil
+	b.freeDones = append(b.freeDones, x)
+	b.outstanding--
+	if done != nil {
+		done(c)
+	}
+	if !write {
+		waiters := b.inflightReads[a]
+		delete(b.inflightReads, a)
+		for _, w := range waiters {
+			b.outstanding--
+			if w != nil {
+				w(c)
+			}
+		}
+	}
+}
+
+// acquireDone checks a context out of the pool (or mints one).
+func (b *base) acquireDone(a mem.LineAddr, write bool, done Done) *issueDone {
+	var x *issueDone
+	if n := len(b.freeDones); n > 0 {
+		x = b.freeDones[n-1]
+		b.freeDones = b.freeDones[:n-1]
+	} else {
+		x = &issueDone{b: b}
+		x.fn = x.complete
+	}
+	x.a, x.write, x.done = a, write, done
+	return x
 }
 
 func newBase(name string, d *dram.DRAM, img, arch *mem.Store, llc LLC) base {
@@ -276,22 +332,7 @@ func (b *base) issue(a mem.LineAddr, write bool, k kind, now int64, done Done) (
 	req.Addr, req.Write = a, write
 	if done != nil || !write {
 		b.outstanding++
-		req.OnComplete = func(c int64) {
-			b.outstanding--
-			if done != nil {
-				done(c)
-			}
-			if !write {
-				waiters := b.inflightReads[a]
-				delete(b.inflightReads, a)
-				for _, w := range waiters {
-					b.outstanding--
-					if w != nil {
-						w(c)
-					}
-				}
-			}
-		}
+		req.OnComplete = b.acquireDone(a, write, done).fn
 	}
 	if !b.d.Enqueue(req, now) {
 		b.retry = append(b.retry, req)

@@ -45,6 +45,11 @@ type Options struct {
 	// a power of two >= 2 = the sharded engine. Purely a performance
 	// knob — reports are byte-identical at any value.
 	Shards int
+
+	// EventDriven runs every simulation on the discrete-event engine
+	// (sim.Config.EventDriven). Like Shards, purely a performance knob:
+	// reports are byte-identical either way.
+	EventDriven bool
 }
 
 // Quick returns a laptop-scale option set: representative workloads and a
@@ -188,6 +193,7 @@ func (r *Runner) config(wl, scheme string) sim.Config {
 	cfg.MeasureInstr = r.Opts.Measure
 	cfg.Seed = r.Opts.Seed
 	cfg.Shards = r.Opts.Shards
+	cfg.EventDriven = r.Opts.EventDriven
 	if r.Opts.L3MB > 0 {
 		cfg.L3Bytes = r.Opts.L3MB << 20
 	}

@@ -40,6 +40,11 @@ type JobSpec struct {
 	Measure  int64    `json:"measure_instr,omitempty"`
 	Seed     int64    `json:"seed,omitempty"`
 	Shards   int      `json:"shards,omitempty"`
+	// EventDriven runs each scheme's simulation on the discrete-event
+	// engine (sim.Config.EventDriven). Purely a performance knob — results
+	// are byte-identical to the serial loop — but part of the job key so
+	// an engine-mode comparison can be expressed as two distinct jobs.
+	EventDriven bool `json:"event_driven,omitempty"`
 	// TimeoutSec bounds each scheme's simulation (0 = server default).
 	TimeoutSec int `json:"timeout_sec,omitempty"`
 	// Tenant attributes the job for quota accounting ("" = "default").
@@ -130,6 +135,7 @@ func (s *JobSpec) Config(scheme string) sim.Config {
 	cfg.MeasureInstr = s.Measure
 	cfg.Seed = s.Seed
 	cfg.Shards = s.Shards
+	cfg.EventDriven = s.EventDriven
 	cfg.Trace = s.Trace
 	return cfg
 }
@@ -143,8 +149,8 @@ func (s *JobSpec) Config(scheme string) sim.Config {
 // Priority deliberately does not participate (scheduling metadata); Trace
 // does (a traced run is a different artifact).
 func (s *JobSpec) Key() string {
-	variant := fmt.Sprintf("c%d|w%d|m%d|s%d|sh%d|t%d|tr%t",
-		s.Cores, s.Warmup, s.Measure, s.Seed, s.Shards, s.TimeoutSec, s.Trace)
+	variant := fmt.Sprintf("c%d|w%d|m%d|s%d|sh%d|ev%t|t%d|tr%t",
+		s.Cores, s.Warmup, s.Measure, s.Seed, s.Shards, s.EventDriven, s.TimeoutSec, s.Trace)
 	h := sha256.Sum256([]byte(s.Workload + "|" + strings.Join(s.Schemes, ",") + "|" + variant))
 	return "j" + hex.EncodeToString(h[:8])
 }
@@ -154,8 +160,8 @@ func (s *JobSpec) Key() string {
 // (workload, scheme, variant) point run it once). Tenant and scheme-matrix
 // membership deliberately do not participate.
 func (s *JobSpec) SchemeKey(scheme string) string {
-	return fmt.Sprintf("%s|%s|c%d|w%d|m%d|s%d|sh%d|tr%t",
-		s.Workload, scheme, s.Cores, s.Warmup, s.Measure, s.Seed, s.Shards, s.Trace)
+	return fmt.Sprintf("%s|%s|c%d|w%d|m%d|s%d|sh%d|ev%t|tr%t",
+		s.Workload, scheme, s.Cores, s.Warmup, s.Measure, s.Seed, s.Shards, s.EventDriven, s.Trace)
 }
 
 // Job states. The daemon's crash-recovery state machine (DESIGN.md) allows

@@ -67,6 +67,19 @@ type Config struct {
 	// purely a performance knob.
 	Shards int
 
+	// EventDriven replaces the run loop with the discrete-event engine
+	// (internal/sim/event.go): cores, the memory controller, and the
+	// metrics snapshotter register next-wake cycles into an event queue
+	// and the scheduler jumps straight to the earliest one, so idle spans
+	// on low-MLP workloads cost nothing instead of a full core sweep per
+	// cycle. Composes with Shards (the epoch engine keeps the page-init
+	// fan-out and deferred verification; the event queue takes over the
+	// loop). Results are byte-identical to the serial reference loop at
+	// every setting — a tested invariant — so this is purely a
+	// performance knob. Default off: the serial loop stays the golden
+	// reference.
+	EventDriven bool
+
 	// Horizon (per core, instructions).
 	WarmupInstr  int64
 	MeasureInstr int64

@@ -1,0 +1,314 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"ptmc/internal/cpu"
+)
+
+// This file is the discrete-event execution engine behind
+// Config.EventDriven (ROADMAP item 2, in the style of akita/mgpusim):
+// every component — each core, the memory controller, the metrics
+// snapshotter — registers the next cycle it can possibly act at into a
+// small indexed event queue, and the scheduler advances s.now straight to
+// the earliest registered event instead of incrementing by one.
+//
+// The engine's correctness argument is the same one runSharded already
+// carries, restated here because the queue caches wakes across iterations
+// instead of recomputing them:
+//
+//   - A core's wake (cpu.NextWake) can move for exactly two reasons: the
+//     core's own Cycle ran (we re-register it immediately after), or an
+//     outstanding fill completed and wrote its ROB. Completions are only
+//     delivered during ctrl.Tick — the DRAM model fires them from its
+//     per-tick channel scan, never spontaneously — so re-registering the
+//     cores fillDone touched (the dirty set) right after each controller
+//     tick keeps every cached wake an upper bound that is exact whenever
+//     it matters. The one same-cycle write a core can see outside a tick
+//     is its own access callback completing synchronously inside its own
+//     Cycle (an L1/L2/L3 hit), and that is covered by the post-Cycle
+//     re-registration.
+//   - The controller's wake is the DRAM model's cached O(1) NextEventCycle
+//     minimum (through the same Nexter hook the epoch engine uses). It can
+//     move earlier when a core's access enqueues a request mid-cycle, so
+//     the controller is re-registered after every executed cycle rather
+//     than only after it ticks. A stale bid in the past is harmless: it
+//     floors the next jump at now+1 and the engine degrades to serial
+//     stepping until the next real tick refreshes the schedule — exactly
+//     how runSharded behaves in the same state.
+//   - The metrics snapshotter registers the next MetricsInterval boundary,
+//     so no boundary is ever jumped over.
+//
+// Counter crediting is identical to runSharded: every skipped bus tick is
+// credited through the controller's SkippedTicks (idle-channel scans plus
+// per-tick retry attempts), and the controller actually ticks at every
+// *executed* bus-multiple cycle — it is not reduced to a pure queue
+// consumer, because the serial loop's per-tick accounting (idle-channel
+// counters, retry drains) must happen at the same cycles in both modes.
+// That is what keeps serial, event-driven, sharded, and sharded+event
+// runs byte-identical (the tested invariant in shard_determinism_test.go).
+
+// eventQueue is a fixed-capacity indexed binary min-heap over component
+// ids keyed by their registered wake cycle. Components are dense small
+// ints (cores 0..n-1, then controller, then metrics), so positions live in
+// flat slices and schedule() is an in-place sift — the steady-state
+// scheduling path performs zero allocations (pinned by
+// TestEventQueueZeroAlloc).
+type eventQueue struct {
+	when []int64 // component id -> registered wake cycle
+	heap []int32 // component ids, heap-ordered by (when, id)
+	pos  []int32 // component id -> index in heap
+}
+
+// eventNever parks a component that has no self-scheduled event (same
+// value as cpu.NeverWake, usable for non-core components too).
+const eventNever = int64(cpu.NeverWake)
+
+func newEventQueue(n int) *eventQueue {
+	q := &eventQueue{
+		when: make([]int64, n),
+		heap: make([]int32, n),
+		pos:  make([]int32, n),
+	}
+	for i := range q.when {
+		q.when[i] = eventNever
+		q.heap[i] = int32(i)
+		q.pos[i] = int32(i)
+	}
+	return q
+}
+
+// less orders heap entries by wake cycle, component id breaking ties so
+// the heap layout is a pure function of the registered schedule.
+func (q *eventQueue) less(a, b int32) bool {
+	wa, wb := q.when[a], q.when[b]
+	return wa < wb || (wa == wb && a < b)
+}
+
+// schedule registers component id's next wake, replacing any previous
+// registration. In-place: no allocation, O(log n) sift.
+func (q *eventQueue) schedule(id int, cycle int64) {
+	if q.when[id] == cycle {
+		return
+	}
+	q.when[id] = cycle
+	if i := q.pos[id]; !q.up(i) {
+		q.down(i)
+	}
+}
+
+// minCycle returns the earliest registered wake.
+func (q *eventQueue) minCycle() int64 { return q.when[q.heap[0]] }
+
+// at returns component id's registered wake (the run loop's due check).
+func (q *eventQueue) at(id int) int64 { return q.when[id] }
+
+func (q *eventQueue) swap(i, j int32) {
+	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
+	q.pos[q.heap[i]] = i
+	q.pos[q.heap[j]] = j
+}
+
+func (q *eventQueue) up(i int32) bool {
+	moved := false
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(q.heap[i], q.heap[parent]) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+		moved = true
+	}
+	return moved
+}
+
+func (q *eventQueue) down(i int32) {
+	n := int32(len(q.heap))
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(q.heap[l], q.heap[smallest]) {
+			smallest = l
+		}
+		if r < n && q.less(q.heap[r], q.heap[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.swap(i, smallest)
+		i = smallest
+	}
+}
+
+// eventSched is the per-simulator event-engine state: the component queue
+// plus the controller hooks the scheduler drives it with. Built by New
+// when cfg.EventDriven is set; orthogonal to the epoch engine (shardEngine
+// keeps the page-init fan-out and verify sink when both are enabled).
+type eventSched struct {
+	q *eventQueue
+
+	// nexter/skipper are the same optional controller hooks the epoch
+	// engine discovers; both degrade like ctrlWake / raw DRAM crediting.
+	nexter  interface{ NextEventCycle(int64) int64 }
+	skipper interface{ SkippedTicks(n int64) }
+
+	// dirty collects core ids whose ROB was written by fillDone during the
+	// current controller tick; their cached wakes are recomputed right
+	// after the tick. mark is the dedup bitmap, ids the drain list — both
+	// preallocated, zero allocations steady-state.
+	mark []bool
+	ids  []int32
+}
+
+func newEventSched(s *Simulator) *eventSched {
+	nc := len(s.cores)
+	e := &eventSched{
+		q:    newEventQueue(nc + 2),
+		mark: make([]bool, nc),
+		ids:  make([]int32, 0, nc),
+	}
+	e.nexter, _ = s.ctrl.(interface{ NextEventCycle(int64) int64 })
+	e.skipper, _ = s.ctrl.(interface{ SkippedTicks(n int64) })
+	return e
+}
+
+// markDirty records that coreID's ROB was written by a fill completion;
+// runEvent re-registers it after the controller tick that delivered it.
+func (e *eventSched) markDirty(coreID int) {
+	if !e.mark[coreID] {
+		e.mark[coreID] = true
+		e.ids = append(e.ids, int32(coreID))
+	}
+}
+
+// ctrlWake mirrors shardEngine.ctrlWake: the controller's next event
+// cycle, or the next bus-tick multiple for a controller exposing no
+// schedule.
+func (e *eventSched) ctrlWake(s *Simulator, now int64) int64 {
+	if e.nexter == nil {
+		r := int64(s.cfg.DRAM.BusRatio)
+		return (now/r + 1) * r
+	}
+	return e.nexter.NextEventCycle(now)
+}
+
+// runEvent is the discrete-event counterpart of Simulator.run: identical
+// termination conditions and per-cycle work order (cores in index order,
+// then the controller on bus multiples, then metrics snapshots), with
+// s.now advanced directly to the queue's earliest registered event.
+// Cancellation is polled on an iteration count, not on s.now — a
+// cycle-skipping engine can jump over every multiple of 4096 — and jumps
+// are clamped at the deadline so the maxCycles error always reports the
+// same cycle the serial loop would.
+func (s *Simulator) runEvent(ctx context.Context, limit, maxCycles int64) error {
+	e := s.evq
+	for i := range s.cores {
+		s.cores[i].ResetWindow(limit)
+	}
+	s.windowStart = s.now
+	deadline := s.now + maxCycles
+	busRatio := int64(s.cfg.DRAM.BusRatio)
+	d := s.ctrl.DRAM()
+	nc := len(s.cores)
+	ctrlID, metricsID := nc, nc+1
+
+	// Fresh registration for this window: warmup and the measured window
+	// each enter with their own core states and metrics phase.
+	for i, c := range s.cores {
+		e.q.schedule(i, c.NextWake(s.now))
+	}
+	e.q.schedule(ctrlID, e.ctrlWake(s, s.now))
+	if s.reg != nil {
+		e.q.schedule(metricsID, (s.now/s.cfg.MetricsInterval+1)*s.cfg.MetricsInterval)
+	} else {
+		e.q.schedule(metricsID, eventNever)
+	}
+	for i := range e.mark {
+		e.mark[i] = false
+	}
+	e.ids = e.ids[:0]
+
+	for iter := 0; ; iter++ {
+		allDone := true
+		for _, c := range s.cores {
+			if !c.Done() {
+				allDone = false
+			}
+		}
+		if allDone {
+			if s.eng != nil {
+				s.eng.drainVerify()
+			}
+			return nil
+		}
+		if s.fatal != nil {
+			return s.fatal
+		}
+		if s.now >= deadline {
+			return fmt.Errorf("sim: exceeded %d cycles without finishing", maxCycles)
+		}
+		if iter&4095 == 0 && ctx.Err() != nil {
+			return fmt.Errorf("sim: interrupted at cycle %d: %w", s.now, ctx.Err())
+		}
+
+		// Jump to the earliest registered event. The floor at now+1 makes a
+		// stale past controller bid harmless (serial stepping until the next
+		// real tick); the deadline clamp executes the deadline cycle itself
+		// so the error above fires at the same cycle as the serial loop.
+		wake := e.q.minCycle()
+		if wake < s.now+1 {
+			wake = s.now + 1
+		}
+		if wake > deadline {
+			wake = deadline
+		}
+		if wake > s.now+1 {
+			// Credit every bus tick inside the skipped span (s.now, wake)
+			// exactly as runSharded does: through the controller when it
+			// keeps per-tick bookkeeping, else straight to the DRAM idle
+			// counters.
+			if n := (wake-1)/busRatio - s.now/busRatio; n > 0 {
+				if e.skipper != nil {
+					e.skipper.SkippedTicks(n)
+				} else {
+					d.SkippedTicks(n)
+				}
+			}
+		}
+		s.now = wake
+		for i, c := range s.cores {
+			if e.q.at(i) <= s.now {
+				c.Cycle(s.now)
+				e.q.schedule(i, c.NextWake(s.now))
+			}
+		}
+		if s.now%busRatio == 0 {
+			s.ctrl.Tick(s.now)
+			// Fill completions delivered during the tick wrote sleeping
+			// cores' ROBs; re-register each one the tick touched.
+			for _, id := range e.ids {
+				e.mark[id] = false
+				e.q.schedule(int(id), s.cores[id].NextWake(s.now))
+			}
+			e.ids = e.ids[:0]
+			if s.eng != nil && s.eng.sink != nil && s.eng.sink.Pending() >= verifyBatchThreshold {
+				s.eng.drainVerify()
+			}
+		}
+		// The controller's schedule can move earlier on any executed cycle
+		// (a core's access enqueues mid-cycle), not just on ticks.
+		e.q.schedule(ctrlID, e.ctrlWake(s, s.now))
+		if s.reg != nil {
+			if s.now%s.cfg.MetricsInterval == 0 {
+				if s.eng != nil {
+					s.eng.drainVerify()
+				}
+				s.reg.Snapshot(s.now)
+			}
+			e.q.schedule(metricsID, (s.now/s.cfg.MetricsInterval+1)*s.cfg.MetricsInterval)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package sim
+
+// Unit tests for the discrete-event engine's moving parts: the indexed
+// event queue itself (ordering, rescheduling, the zero-allocation pin for
+// the steady-state scheduling path), deadline-clamped jumps (the maxCycles
+// error must report the same cycle the serial loop reports), and ctx
+// cancellation under cycle skipping (the poll is iteration-counted, so a
+// jump-heavy run cannot alias past every checkpoint the way an
+// `s.now&4095` poll could). The full byte-identity matrix lives in
+// shard_determinism_test.go (TestEventDeterminismMatrix).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestEventQueueOrdering(t *testing.T) {
+	q := newEventQueue(4)
+	if q.minCycle() != eventNever {
+		t.Fatalf("fresh queue min = %d, want eventNever", q.minCycle())
+	}
+	q.schedule(2, 100)
+	q.schedule(0, 50)
+	q.schedule(1, 75)
+	q.schedule(3, 50)
+	if got := q.minCycle(); got != 50 {
+		t.Fatalf("min = %d, want 50", got)
+	}
+	// Reschedule the minimum later: the next earliest must surface.
+	q.schedule(0, 200)
+	q.schedule(3, 200)
+	if got := q.minCycle(); got != 75 {
+		t.Fatalf("min after rescheduling = %d, want 75", got)
+	}
+	// Pull one earlier than everything.
+	q.schedule(2, 10)
+	if got := q.minCycle(); got != 10 {
+		t.Fatalf("min after early reschedule = %d, want 10", got)
+	}
+	if got := q.at(1); got != 75 {
+		t.Fatalf("at(1) = %d, want 75", got)
+	}
+	// Park everything again.
+	for id := 0; id < 4; id++ {
+		q.schedule(id, eventNever)
+	}
+	if q.minCycle() != eventNever {
+		t.Fatalf("parked queue min = %d, want eventNever", q.minCycle())
+	}
+}
+
+// TestEventQueueZeroAlloc pins the steady-state scheduling path — the
+// only queue operations the run loop performs per executed cycle — to
+// zero allocations, same tier as the memctrl/mem/obs hot-path guards.
+func TestEventQueueZeroAlloc(t *testing.T) {
+	q := newEventQueue(10)
+	for i := 0; i < 10; i++ {
+		q.schedule(i, int64(i+1))
+	}
+	cycle := int64(1)
+	if n := testing.AllocsPerRun(1000, func() {
+		// One executed cycle's worth of traffic: read the minimum, bump a
+		// few cores forward, park one, wake it again.
+		_ = q.minCycle()
+		q.schedule(0, cycle+1)
+		q.schedule(3, cycle+7)
+		q.schedule(7, eventNever)
+		q.schedule(7, cycle+2)
+		cycle++
+	}); n != 0 {
+		t.Errorf("event queue scheduling allocates %.1f/op, want 0", n)
+	}
+}
+
+// TestEventMaxCyclesConsistent: jumps are clamped at the deadline, so an
+// event-driven run that exhausts its cycle budget fails with the same
+// error, at the same cycle, as the serial loop.
+func TestEventMaxCyclesConsistent(t *testing.T) {
+	run := func(event bool) (int64, error) {
+		cfg := quickCfg("lbm06", SchemeUncompressed)
+		cfg.WarmupInstr = 0
+		cfg.EventDriven = event
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Far too small a budget to retire anything meaningful.
+		const maxCycles = 5_000
+		loop := s.run
+		if event {
+			loop = s.runEvent
+		}
+		rerr := loop(context.Background(), cfg.MeasureInstr, maxCycles)
+		return s.now, rerr
+	}
+	serialNow, serialErr := run(false)
+	eventNow, eventErr := run(true)
+	if serialErr == nil || eventErr == nil {
+		t.Fatalf("expected both loops to exhaust the budget; serial=%v event=%v", serialErr, eventErr)
+	}
+	if serialErr.Error() != eventErr.Error() {
+		t.Errorf("error text diverges:\n  serial: %v\n  event:  %v", serialErr, eventErr)
+	}
+	if serialNow != eventNow {
+		t.Errorf("abort cycle diverges: serial %d vs event %d", serialNow, eventNow)
+	}
+}
+
+// TestEventCancellation: the iteration-counted ctx poll interrupts an
+// event-driven run promptly even though the engine skips cycles (an
+// `s.now&4095 == 0` poll could be jumped over indefinitely).
+func TestEventCancellation(t *testing.T) {
+	for _, shards := range []int{0, 4} {
+		t.Run(fmt.Sprintf("shards%d", shards), func(t *testing.T) {
+			cfg := quickCfg("lbm06", SchemeDynamicPTMC)
+			cfg.WarmupInstr = 0
+			cfg.MeasureInstr = 50_000_000 // cannot finish before the cancel
+			cfg.Shards = shards
+			cfg.EventDriven = true
+			s, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan error, 1)
+			go func() {
+				_, rerr := s.RunContext(ctx)
+				done <- rerr
+			}()
+			time.Sleep(10 * time.Millisecond)
+			cancel()
+			select {
+			case rerr := <-done:
+				if !errors.Is(rerr, context.Canceled) {
+					t.Fatalf("RunContext returned %v, want context.Canceled", rerr)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("event-driven RunContext did not return within 5s of cancellation")
+			}
+		})
+	}
+}

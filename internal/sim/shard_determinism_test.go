@@ -54,6 +54,75 @@ func TestShardDeterminismResults(t *testing.T) {
 	}
 }
 
+// TestEventDeterminismMatrix is the discrete-event engine's acceptance
+// test, in mgpusim's pattern: the same seed run twice must reach the
+// identical end cycle and a reflect.DeepEqual Result, and every variant
+// must match the serial reference loop byte-for-byte. The matrix covers
+// all seven schemes × event engine on/off × shards 0/2/4/8, so the three
+// run loops (serial, epoch, event) and their compositions are pinned
+// against each other. The run-twice leg is deliberate: DeepEqual against
+// the serial reference catches cross-mode divergence, while run-twice
+// catches nondeterminism that happens to diverge identically in both
+// modes (map iteration, uninitialized state).
+func TestEventDeterminismMatrix(t *testing.T) {
+	for _, scheme := range Schemes() {
+		var ref *Result
+		for _, event := range []bool{false, true} {
+			for _, shards := range shardVariants {
+				run := func() *Result {
+					cfg := Default()
+					cfg.Workload = "lbm06"
+					cfg.Scheme = scheme
+					cfg.WarmupInstr = 10_000
+					cfg.MeasureInstr = 10_000
+					cfg.MetricsInterval = 25_000
+					cfg.Shards = shards
+					cfg.EventDriven = event
+					r, err := Run(cfg)
+					if err != nil {
+						t.Fatalf("%s event=%t shards=%d: %v", scheme, event, shards, err)
+					}
+					return r
+				}
+				r1 := run()
+				r2 := run()
+				if r1.Cycles != r2.Cycles {
+					t.Errorf("%s event=%t shards=%d: end cycle differs across identical runs: %d vs %d",
+						scheme, event, shards, r1.Cycles, r2.Cycles)
+				}
+				if !reflect.DeepEqual(r1, r2) {
+					t.Errorf("%s event=%t shards=%d: result differs across identical runs",
+						scheme, event, shards)
+				}
+				if ref == nil {
+					ref = r1 // event=false, shards=0: the serial reference
+					continue
+				}
+				if r1.Cycles != ref.Cycles {
+					t.Errorf("%s event=%t shards=%d: end cycle %d diverges from serial %d",
+						scheme, event, shards, r1.Cycles, ref.Cycles)
+				}
+				if !reflect.DeepEqual(ref, r1) {
+					t.Errorf("%s event=%t shards=%d: result diverges from serial reference",
+						scheme, event, shards)
+					if ref.String() != r1.String() {
+						t.Errorf("  report:\n  %s\n  vs\n  %s", ref.String(), r1.String())
+					}
+					if !reflect.DeepEqual(ref.DRAM, r1.DRAM) {
+						t.Errorf("  DRAM stats: %+v\n  vs %+v", ref.DRAM, r1.DRAM)
+					}
+					if !reflect.DeepEqual(ref.Mem, r1.Mem) {
+						t.Errorf("  Mem stats: %+v\n  vs %+v", ref.Mem, r1.Mem)
+					}
+					if !reflect.DeepEqual(ref.Metrics, r1.Metrics) {
+						t.Errorf("  obs metrics snapshots diverge")
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestShardDeterminismMix covers the multiprogrammed case the benchmark
 // trajectory is measured on: a heterogeneous mix keeps every core's stream
 // distinct, so any ordering leak between shards (page-init collisions,

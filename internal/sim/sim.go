@@ -49,6 +49,7 @@ type Simulator struct {
 	obs     prefetchObserver
 	mshr    map[mem.LineAddr][]waiter
 	eng     *shardEngine // non-nil when cfg.Shards >= 2 (epoch engine)
+	evq     *eventSched  // non-nil when cfg.EventDriven (discrete-event engine)
 
 	now         int64
 	windowStart int64
@@ -238,6 +239,14 @@ func New(cfg Config) (*Simulator, error) {
 	if cfg.Shards >= 2 {
 		s.eng = newShardEngine(s, cfg.Shards)
 	}
+	// Discrete-event engine (Config.EventDriven): replaces the run loop
+	// with runEvent. Composes with the epoch engine — page-init fan-out
+	// and the verify sink stay with shardEngine; only the loop changes.
+	// The DRAM model needs engine mode for its O(1) wake schedule; the
+	// epoch engine already enabled it when present.
+	if cfg.EventDriven && s.eng == nil {
+		s.ctrl.DRAM().SetEngineMode(true)
+	}
 
 	// Observability wiring. The tracer attaches to the controller (every
 	// scheme embeds memctrl's base, which implements SetTracer) and, for
@@ -269,6 +278,9 @@ func New(cfg Config) (*Simulator, error) {
 		s.cores = append(s.cores, cpu.New(i, cfg.Core, s.streams[i], s.access))
 	}
 	s.tlb = make([]tlbEntry, cfg.Cores*tlbSize)
+	if cfg.EventDriven {
+		s.evq = newEventSched(s) // needs cores + controller assembled
+	}
 	return s, nil
 }
 
@@ -484,21 +496,32 @@ func (s *Simulator) fillDone(coreID int, paddr mem.LineAddr, c int64) {
 	for _, w := range waiters {
 		w.done(end)
 	}
+	if s.evq != nil {
+		// The event engine caches per-core wakes; every ROB this fill just
+		// wrote must be re-registered after the delivering controller tick.
+		for _, w := range waiters {
+			s.evq.markDirty(w.coreID)
+		}
+	}
 }
 
 // run advances the system until every core retires `limit` instructions
 // (from its current window), maxCycles elapse, or ctx is cancelled. The
-// context is polled every 4096 cycles — cheap enough to be invisible, and
-// what lets a per-point timeout (cmd/sweep -timeout, exec.JobOptions)
-// actually interrupt a pathological simulation instead of hanging a
-// worker forever.
+// context is polled every 4096 loop iterations — cheap enough to be
+// invisible, and what lets a per-point timeout (cmd/sweep -timeout,
+// exec.JobOptions) actually interrupt a pathological simulation instead
+// of hanging a worker forever. The poll is iteration-counted, not keyed
+// on s.now & 4095: the serial loop executes every cycle so the cadence is
+// the same, but keying on the clock would alias in any engine that skips
+// cycles (a jump can step over every multiple of 4096), and all three run
+// loops share one polling convention.
 func (s *Simulator) run(ctx context.Context, limit, maxCycles int64) error {
 	for i := range s.cores {
 		s.cores[i].ResetWindow(limit)
 	}
 	s.windowStart = s.now
 	deadline := s.now + maxCycles
-	for {
+	for iter := 0; ; iter++ {
 		allDone := true
 		for _, c := range s.cores {
 			if !c.Done() {
@@ -514,7 +537,7 @@ func (s *Simulator) run(ctx context.Context, limit, maxCycles int64) error {
 		if s.now >= deadline {
 			return fmt.Errorf("sim: exceeded %d cycles without finishing", maxCycles)
 		}
-		if s.now&4095 == 0 && ctx.Err() != nil {
+		if iter&4095 == 0 && ctx.Err() != nil {
 			return fmt.Errorf("sim: interrupted at cycle %d: %w", s.now, ctx.Err())
 		}
 		s.now++
@@ -565,8 +588,15 @@ func (s *Simulator) Run() (*Result, error) {
 func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
 	const cyclesPerInstr = 400 // generous safety budget
 	runFn := s.run
-	if s.eng != nil {
+	switch {
+	case s.evq != nil:
+		// Discrete-event loop; the epoch engine, when also configured,
+		// keeps contributing page-init fan-out and the verify sink.
+		runFn = s.runEvent
+	case s.eng != nil:
 		runFn = s.runSharded
+	}
+	if s.eng != nil {
 		defer s.eng.stop()
 	}
 	if s.cfg.WarmupInstr > 0 {

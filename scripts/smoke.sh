@@ -51,6 +51,13 @@ echo "smoke: observability artifacts valid"
 go test -race -run 'TestShardDeterminism' ./internal/sim/ > /dev/null
 echo "smoke: all-scheme shard determinism clean under -race"
 
+# Event-engine determinism stage: the discrete-event engine must stay
+# byte-identical to the serial per-cycle loop for every scheme, alone and
+# composed with sharding (event on/off x shards 0/2/4/8, run twice), under
+# the race detector so the epoch fan-out it composes with stays clean.
+go test -race -run 'TestEventDeterminism' ./internal/sim/ > /dev/null
+echo "smoke: all-scheme event-engine determinism clean under -race"
+
 # Bench stage: the committed benchmark-trajectory artifacts must parse,
 # carry every required series (wall/ at >=2 shard counts, speedup/,
 # micro/), and advance the PR trajectory in order (ordered by recorded PR,
